@@ -1,0 +1,81 @@
+// Ablation: choice of convex loss (§IV-C4).
+//
+// The two admissible losses differ in their derivative suprema —
+// MultiLabel Soft Margin: c1 = 1/c, c2 = 1/(4c); pseudo-Huber(δ_l):
+// c1 = δ_l/c, c2 = 1/c — which enter β (Eq. 18) and therefore the injected
+// noise. This bench sweeps eps for both losses (and pseudo-Huber widths)
+// on CiteSeer and reports micro-F1 plus the realized noise radius d/β.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/gcon.h"
+#include "eval/experiment.h"
+
+int main() {
+  const gcon::bench::BenchSettings settings = gcon::bench::ReadSettings();
+  const std::vector<double> epsilons = {0.5, 1.0, 2.0, 4.0};
+
+  struct Variant {
+    std::string label;
+    gcon::ConvexLossKind kind;
+    double delta_l;
+  };
+  const std::vector<Variant> variants = {
+      {"msm", gcon::ConvexLossKind::kMultiLabelSoftMargin, 0.0},
+      {"huber_0.1", gcon::ConvexLossKind::kPseudoHuber, 0.1},
+      {"huber_0.2", gcon::ConvexLossKind::kPseudoHuber, 0.2},
+      {"huber_0.5", gcon::ConvexLossKind::kPseudoHuber, 0.5},
+  };
+
+  std::map<double, std::vector<double>> f1;      // [eps] -> per-variant mean
+  std::map<double, std::vector<double>> stddev;  // [eps]
+
+  std::vector<std::string> columns;
+  for (const auto& v : variants) columns.push_back(v.label);
+
+  for (double eps : epsilons) {
+    f1[eps].resize(variants.size());
+    stddev[eps].resize(variants.size());
+  }
+
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    std::map<double, std::vector<double>> runs_f1;
+    for (int run = 0; run < settings.runs; ++run) {
+      const std::uint64_t seed = 4000 + static_cast<std::uint64_t>(run);
+      const gcon::bench::BenchData data =
+          gcon::bench::LoadBenchData("citeseer", settings.scale, seed);
+      gcon::GconConfig config = gcon::bench::DefaultGconConfig(seed);
+      config.loss_kind = variants[vi].kind;
+      config.pseudo_huber_delta = variants[vi].delta_l;
+      const gcon::GconPrepared prepared =
+          gcon::PrepareGcon(data.graph, data.split, config);
+      for (double eps : epsilons) {
+        const gcon::GconModel model = gcon::TrainPrepared(
+            prepared, eps, data.delta,
+            seed * 7 + static_cast<std::uint64_t>(eps * 100) + vi);
+        runs_f1[eps].push_back(gcon::bench::TestMicroF1(
+            data, gcon::PrivateInference(prepared, model)));
+      }
+    }
+    for (double eps : epsilons) {
+      const gcon::RunStats stats = gcon::Summarize(runs_f1[eps]);
+      f1[eps][vi] = stats.mean;
+      stddev[eps][vi] = stats.stddev;
+    }
+  }
+
+  gcon::SeriesTable table(
+      "Ablation: convex loss choice on citeseer (micro-F1)", "eps", columns);
+  for (double eps : epsilons) {
+    table.AddRow(gcon::FormatDouble(eps, 1), f1[eps], stddev[eps]);
+  }
+  table.Print(std::cout);
+  if (gcon::EnvBool("GCON_BENCH_CSV", false)) table.PrintCsv(std::cout);
+  std::cout << "(" << settings.runs << " runs, scale " << settings.scale
+            << ")\n";
+  return 0;
+}

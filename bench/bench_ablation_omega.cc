@@ -1,0 +1,61 @@
+// Ablation: the budget allocator omega (Theorem 1; Appendix Q fixes 0.9).
+//
+// omega splits epsilon between the linear noise term B (gets >= omega*eps)
+// and the Jacobian / quadratic term (gets the rest via eps_Lambda and
+// Lambda'). This bench sweeps omega at two budgets on CiteSeer and reports
+// micro-F1 plus the resulting beta and Lambda' so the trade-off is visible.
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/gcon.h"
+#include "eval/experiment.h"
+
+int main() {
+  const gcon::bench::BenchSettings settings = gcon::bench::ReadSettings();
+  const std::vector<double> omegas = {0.5, 0.7, 0.8, 0.9, 0.95, 0.99};
+
+  for (double eps : {1.0, 4.0}) {
+    std::map<double, std::vector<double>> f1;      // [omega] -> runs
+    std::map<double, double> beta, lambda_prime;   // last run diagnostics
+    for (int run = 0; run < settings.runs; ++run) {
+      const std::uint64_t seed = 5000 + static_cast<std::uint64_t>(run);
+      const gcon::bench::BenchData data =
+          gcon::bench::LoadBenchData("citeseer", settings.scale, seed);
+      gcon::GconConfig config = gcon::bench::DefaultGconConfig(seed);
+      // Prepared artifacts do not depend on omega.
+      const gcon::GconPrepared prepared =
+          gcon::PrepareGcon(data.graph, data.split, config);
+      for (double omega : omegas) {
+        gcon::GconPrepared variant = prepared;
+        variant.config.omega = omega;
+        const gcon::GconModel model = gcon::TrainPrepared(
+            variant, eps, data.delta,
+            seed * 13 + static_cast<std::uint64_t>(omega * 1000));
+        f1[omega].push_back(gcon::bench::TestMicroF1(
+            data, gcon::PrivateInference(variant, model)));
+        beta[omega] = model.params.beta;
+        lambda_prime[omega] = model.params.lambda_prime;
+      }
+    }
+    gcon::SeriesTable table("Ablation: budget allocator omega on citeseer, "
+                            "eps=" + gcon::FormatDouble(eps, 1),
+                            "omega", {"micro_f1", "beta", "lambda_prime"});
+    for (double omega : omegas) {
+      const gcon::RunStats stats = gcon::Summarize(f1[omega]);
+      table.AddRow(gcon::FormatDouble(omega, 2),
+                   {stats.mean, beta[omega], lambda_prime[omega]},
+                   {stats.stddev, std::nan(""), std::nan("")});
+    }
+    table.Print(std::cout);
+  if (gcon::EnvBool("GCON_BENCH_CSV", false)) table.PrintCsv(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "(" << settings.runs << " runs, scale " << settings.scale
+            << "; the paper fixes omega=0.9)\n";
+  return 0;
+}

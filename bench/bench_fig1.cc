@@ -1,0 +1,171 @@
+// Figure 1 reproduction: micro-F1 versus privacy budget epsilon for GCON
+// and the seven comparison methods, on all four datasets.
+//
+// Paper protocol: eps in {0.5, 1, 2, 3, 4}, delta = 1/|E|, 10 runs.
+// Default here: scaled-down datasets and 2 runs (see bench_util.h knobs;
+// GCON_BENCH_FULL=1 restores the paper scale). One table per dataset:
+// rows = eps, columns = methods — the same series Figure 1 plots.
+//
+// Expected shape (paper): GCON > {GAP, ProGAP, LPGNet, DPGCN, DP-SGD} at
+// every eps, with the margin largest at small eps; MLP is a flat
+// eps-independent floor; GCN (non-DP) a flat ceiling; on Actor
+// (heterophily) all methods compress toward the MLP.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "baselines/dpgcn.h"
+#include "baselines/dpsgd_gcn.h"
+#include "baselines/gap.h"
+#include "baselines/gcn.h"
+#include "baselines/lpgnet.h"
+#include "baselines/mlp_baseline.h"
+#include "baselines/progap.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/gcon.h"
+#include "eval/experiment.h"
+
+namespace gcon {
+namespace bench {
+namespace {
+
+const std::vector<double> kEpsilons = {0.5, 1.0, 2.0, 3.0, 4.0};
+const std::vector<std::string> kMethods = {"GCON",   "DP-SGD", "DPGCN",
+                                           "LPGNet", "GAP",    "ProGAP",
+                                           "MLP",    "GCN"};
+
+std::vector<std::string> DatasetsToRun() {
+  const char* env = std::getenv("GCON_BENCH_DATASETS");
+  if (env != nullptr && *env != '\0') {
+    return SplitString(env, ',');
+  }
+  return {"cora_ml", "citeseer", "pubmed", "actor"};
+}
+
+void RunDataset(const std::string& name, const BenchSettings& settings) {
+  Timer timer;
+  // scores[eps][method] -> per-run F1 values.
+  std::map<double, std::map<std::string, std::vector<double>>> scores;
+
+  for (int run = 0; run < settings.runs; ++run) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(run);
+    const BenchData data = LoadBenchData(name, settings.scale, seed);
+
+    // eps-independent methods: once per run.
+    {
+      MlpBaselineOptions options;
+      options.hidden = 32;
+      options.epochs = 150;
+      options.seed = seed;
+      const double f1 =
+          TestMicroF1(data, TrainMlpAndPredict(data.graph, data.split, options));
+      for (double eps : kEpsilons) scores[eps]["MLP"].push_back(f1);
+    }
+    {
+      GcnOptions options;
+      options.hidden = 32;
+      options.epochs = 150;
+      options.seed = seed;
+      const double f1 =
+          TestMicroF1(data, TrainGcnAndPredict(data.graph, data.split, options));
+      for (double eps : kEpsilons) scores[eps]["GCN"].push_back(f1);
+    }
+
+    // GCON: the encoder is eps-independent — train it once per run, then
+    // per eps select the restart probability on the validation split (the
+    // paper tunes hyperparameters per setting, Appendix Q).
+    GconConfig config = DefaultGconConfig(seed);
+    if (name == "actor") {
+      // Appendix Q: multi-step concatenation on the heterophilous graph.
+      config.steps = {0, 2};
+    }
+    EncoderOptions encoder_options = config.encoder;
+    encoder_options.seed = seed;
+    const EncodedFeatures encoded =
+        TrainEncoder(data.graph, data.split, encoder_options);
+    const std::vector<double> alpha_grid = {0.4, 0.6, 0.8, 0.95};
+
+    for (double eps : kEpsilons) {
+      const std::uint64_t eps_seed =
+          seed * 31 + static_cast<std::uint64_t>(eps * 100);
+      scores[eps]["GCON"].push_back(TestMicroF1(
+          data, TrainGconSelectAlpha(data, encoded, config, alpha_grid, eps,
+                                     eps_seed)));
+      {
+        DpsgdOptions options;
+        options.steps = 200;
+        options.sample_rate = 0.3;
+        options.seed = eps_seed;
+        scores[eps]["DP-SGD"].push_back(TestMicroF1(
+            data, TrainDpsgdGcnAndPredict(data.graph, data.split, eps,
+                                          data.delta, options)));
+      }
+      {
+        DpgcnOptions options;
+        options.gcn.hidden = 32;
+        options.gcn.epochs = 150;
+        options.gcn.seed = eps_seed;
+        scores[eps]["DPGCN"].push_back(TestMicroF1(
+            data, TrainDpgcnAndPredict(data.graph, data.split, eps, options)));
+      }
+      {
+        LpgnetOptions options;
+        options.hidden = 32;
+        options.epochs = 150;
+        options.seed = eps_seed;
+        scores[eps]["LPGNet"].push_back(TestMicroF1(
+            data, TrainLpgnetAndPredict(data.graph, data.split, eps, options)));
+      }
+      {
+        GapOptions options;
+        options.encoder_hidden = 32;
+        options.encoder_dim = 16;
+        options.seed = eps_seed;
+        scores[eps]["GAP"].push_back(TestMicroF1(
+            data, TrainGapAndPredict(data.graph, data.split, eps, data.delta,
+                                     options)));
+      }
+      {
+        ProgapOptions options;
+        options.hidden = 32;
+        options.dim = 16;
+        options.seed = eps_seed;
+        scores[eps]["ProGAP"].push_back(TestMicroF1(
+            data, TrainProgapAndPredict(data.graph, data.split, eps,
+                                        data.delta, options)));
+      }
+    }
+  }
+
+  SeriesTable table("Figure 1 (" + name + "): micro-F1 vs epsilon", "eps",
+                    kMethods);
+  for (double eps : kEpsilons) {
+    std::vector<double> means, stds;
+    for (const auto& method : kMethods) {
+      const RunStats stats = Summarize(scores[eps][method]);
+      means.push_back(stats.mean);
+      stds.push_back(stats.stddev);
+    }
+    table.AddRow(FormatDouble(eps, 1), means, stds);
+  }
+  table.Print(std::cout);
+  if (gcon::EnvBool("GCON_BENCH_CSV", false)) table.PrintCsv(std::cout);
+  std::cout << "(" << settings.runs << " runs, scale " << settings.scale
+            << ", " << FormatDouble(timer.Seconds(), 1) << "s)\n\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gcon
+
+int main() {
+  const gcon::bench::BenchSettings settings = gcon::bench::ReadSettings();
+  for (const std::string& name : gcon::bench::DatasetsToRun()) {
+    gcon::bench::RunDataset(name, settings);
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 3 reproduction: effect of the propagation step m1 with a PUBLIC
+// test graph (full Z·Theta inference), eps = 4.
+//
+// Expected shape (paper): performance improves with m1 up to ~10 and then
+// plateaus — the wider receptive field helps until the added sensitivity
+// (and thus noise) cancels the gain.
+#include "propagation_sweep.h"
+
+int main() {
+  gcon::bench::RunPropagationStepSweep(/*public_inference=*/true, "Figure 3");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Kernel micro-benchmarks (google-benchmark): the hot paths of the
+// reproduction — dense GEMM, SpMM, APPR propagation, Erlang-sphere noise
+// sampling, the Theorem 1 parameter chain, and the convex minimization.
+#include <benchmark/benchmark.h>
+
+#include "core/convex_loss.h"
+#include "core/noise.h"
+#include "core/objective.h"
+#include "core/theorem1.h"
+#include "graph/datasets.h"
+#include "linalg/ops.h"
+#include "propagation/appr.h"
+#include "propagation/transition.h"
+#include "rng/rng.h"
+#include "sparse/csr_matrix.h"
+
+namespace gcon {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    m.data()[k] = rng.Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+void BM_DenseGemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, n, 1);
+  const Matrix b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DenseGemm)->Arg(64)->Arg(256);
+
+void BM_SpMM(benchmark::State& state) {
+  DatasetSpec spec = TinySpec();
+  spec.num_nodes = static_cast<int>(state.range(0));
+  spec.num_undirected_edges = static_cast<std::size_t>(5 * state.range(0));
+  Rng rng(3);
+  const Graph graph = GenerateDataset(spec, &rng);
+  const CsrMatrix t = BuildTransition(graph);
+  const Matrix x = RandomMatrix(static_cast<std::size_t>(spec.num_nodes), 64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Multiply(x));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.nnz()) * 64);
+}
+BENCHMARK(BM_SpMM)->Arg(1000)->Arg(10000);
+
+void BM_ApprPropagate(benchmark::State& state) {
+  DatasetSpec spec = TinySpec();
+  spec.num_nodes = 2000;
+  spec.num_undirected_edges = 10000;
+  Rng rng(5);
+  const Graph graph = GenerateDataset(spec, &rng);
+  const CsrMatrix t = BuildTransition(graph);
+  Matrix x = RandomMatrix(2000, 32, 6);
+  RowL2NormalizeInPlace(&x);
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApprPropagate(t, x, m, 0.5));
+  }
+}
+BENCHMARK(BM_ApprPropagate)->Arg(2)->Arg(10)->Arg(20);
+
+void BM_PprFixedPoint(benchmark::State& state) {
+  DatasetSpec spec = TinySpec();
+  spec.num_nodes = 2000;
+  spec.num_undirected_edges = 10000;
+  Rng rng(7);
+  const Graph graph = GenerateDataset(spec, &rng);
+  const CsrMatrix t = BuildTransition(graph);
+  Matrix x = RandomMatrix(2000, 32, 8);
+  RowL2NormalizeInPlace(&x);
+  const double alpha = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PprPropagate(t, x, alpha, 1e-8));
+  }
+}
+BENCHMARK(BM_PprFixedPoint)->Arg(2)->Arg(6);
+
+void BM_NoiseSampling(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleNoiseMatrix(d, 7, 2.0, &rng));
+  }
+}
+BENCHMARK(BM_NoiseSampling)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_Theorem1Chain(benchmark::State& state) {
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(7);
+  PrivacyInputs in;
+  in.epsilon = 1.0;
+  in.delta = 1e-5;
+  in.omega = 0.9;
+  in.lambda = 0.2;
+  in.n1 = 3000;
+  in.num_classes = 7;
+  in.dim = static_cast<int>(state.range(0));
+  in.psi_z = 1.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePrivacyParams(in, loss));
+  }
+}
+BENCHMARK(BM_Theorem1Chain)->Arg(16)->Arg(256);
+
+void BM_ConvexMinimize(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  Matrix z = RandomMatrix(static_cast<std::size_t>(n1), 32, 10);
+  RowL2NormalizeInPlace(&z);
+  Matrix y(static_cast<std::size_t>(n1), 7);
+  Rng rng(11);
+  for (int i = 0; i < n1; ++i) {
+    y(static_cast<std::size_t>(i), rng.UniformInt(7)) = 1.0;
+  }
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(7);
+  const Matrix noise = SampleNoiseMatrix(32, 7, 2.0, &rng);
+  const PerturbedObjective objective(&z, &y, &loss, 0.3, &noise);
+  MinimizeOptions options;
+  options.max_iterations = 200;
+  options.gradient_tolerance = 0.0;  // fixed work per iteration
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimizeAdam(objective, options));
+  }
+}
+BENCHMARK(BM_ConvexMinimize)->Arg(500)->Arg(2000);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  DatasetSpec spec = Scaled(CoraMlSpec(), 0.2);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(GenerateDataset(spec, &rng));
+  }
+}
+BENCHMARK(BM_GraphGeneration);
+
+}  // namespace
+}  // namespace gcon
+
+BENCHMARK_MAIN();

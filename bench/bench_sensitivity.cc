@@ -1,0 +1,90 @@
+// Sensitivity-bound tightness study (supports §V-B / Lemma 2).
+//
+// For each (alpha, m) cell: measures the empirical psi(Z_m) over random
+// single-edge edits of a synthetic graph and reports it against the
+// closed-form Psi(Z_m) = 2(1-alpha)/alpha (1-(1-alpha)^m). The ratio
+// empirical/bound quantifies how much calibration headroom the closed form
+// leaves; the bound must never be exceeded (that would falsify Lemma 2 and
+// the DP guarantee).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "graph/datasets.h"
+#include "linalg/ops.h"
+#include "propagation/appr.h"
+#include "propagation/sensitivity.h"
+#include "propagation/transition.h"
+#include "rng/rng.h"
+
+namespace {
+
+constexpr int kEdits = 30;
+
+double MaxEmpiricalPsi(gcon::Graph* graph, const gcon::Matrix& x, int m,
+                       double alpha, gcon::Rng* rng) {
+  const gcon::Matrix z =
+      gcon::Propagate(gcon::BuildTransition(*graph), x, m, alpha);
+  const auto edges = graph->EdgeList();
+  double worst = 0.0;
+  for (int edit = 0; edit < kEdits; ++edit) {
+    const auto& [u, v] =
+        edges[rng->UniformInt(static_cast<std::uint64_t>(edges.size()))];
+    graph->RemoveEdge(u, v);
+    const gcon::Matrix z_prime =
+        gcon::Propagate(gcon::BuildTransition(*graph), x, m, alpha);
+    graph->AddEdge(u, v);
+    worst = std::max(worst, gcon::EmpiricalPsi(z, z_prime));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  gcon::DatasetSpec spec = gcon::TinySpec();
+  spec.num_nodes = 300;
+  spec.num_undirected_edges = 900;
+  gcon::Rng gen(11);
+  gcon::Graph graph = gcon::GenerateDataset(spec, &gen);
+  gcon::Matrix x = graph.features();
+  gcon::RowL2NormalizeInPlace(&x);
+
+  const std::vector<double> alphas = {0.2, 0.4, 0.6, 0.8};
+  const std::vector<int> steps = {1, 2, 5, 10, gcon::kInfiniteSteps};
+
+  std::vector<std::string> columns;
+  for (double alpha : alphas) {
+    columns.push_back("a=" + gcon::FormatDouble(alpha, 1) + " emp/bnd");
+  }
+  gcon::SeriesTable table(
+      "Lemma 2 tightness: worst empirical psi / closed-form Psi over " +
+          std::to_string(kEdits) + " edge edits",
+      "m", columns);
+  gcon::Rng rng(13);
+  bool violated = false;
+  for (int m : steps) {
+    std::vector<double> ratios;
+    for (double alpha : alphas) {
+      const double bound = gcon::SensitivityZm(m, alpha);
+      const double empirical = MaxEmpiricalPsi(&graph, x, m, alpha, &rng);
+      if (empirical > bound + 1e-9) violated = true;
+      ratios.push_back(bound > 0 ? empirical / bound : 0.0);
+    }
+    table.AddRow(m == gcon::kInfiniteSteps ? "inf" : std::to_string(m),
+                 ratios);
+  }
+  table.Print(std::cout);
+  if (gcon::EnvBool("GCON_BENCH_CSV", false)) table.PrintCsv(std::cout);
+  std::cout << (violated ? "\nVIOLATION: empirical psi exceeded Lemma 2!\n"
+                         : "\nBound respected in every cell (ratio <= 1). "
+                           "Ratios well below 1 indicate the\nworst random "
+                           "edit is far from the adversarial one; the hub "
+                           "edit of a star\ngraph gets much closer (see "
+                           "lemma_property_test).\n");
+  return violated ? 1 : 0;
+}

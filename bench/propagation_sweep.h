@@ -1,0 +1,16 @@
+// Shared driver for the Figure 2 / Figure 3 propagation-step sweeps (they
+// differ only in the inference path: Eq. (16) private vs. public Z·Theta).
+#ifndef GCON_BENCH_PROPAGATION_SWEEP_H_
+#define GCON_BENCH_PROPAGATION_SWEEP_H_
+
+namespace gcon {
+namespace bench {
+
+/// Runs the m1 x alpha sweep at eps = 4 on Cora-ML / CiteSeer / PubMed and
+/// prints one table per dataset (rows m1, columns alpha).
+void RunPropagationStepSweep(bool public_inference, const char* figure_name);
+
+}  // namespace bench
+}  // namespace gcon
+
+#endif  // GCON_BENCH_PROPAGATION_SWEEP_H_

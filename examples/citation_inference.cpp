@@ -1,0 +1,86 @@
+// Inference scenarios on citation graphs (§IV-C6 of the paper).
+//
+//   ./build/examples/citation_inference [--epsilon=2.0]
+//
+// A publisher trains GCON on its private citation graph, then serves the
+// model in three regimes:
+//   (i)  private test graph, Eq. (16): each querying author only reveals
+//        their own references (one-hop, no extra privacy cost);
+//   (ii) public test graph: full APPR propagation Z·Theta;
+//   (iii) a *different* citation graph entirely (transfer), encoded by the
+//        trained encoder and served with the one-hop rule.
+// Also demonstrates graph serialization round-tripping through the text
+// format (graph/io.h) so real datasets can be plugged in.
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "core/gcon.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+#include "graph/io.h"
+#include "rng/rng.h"
+
+int main(int argc, char** argv) {
+  gcon::Flags flags(argc, argv, {{"epsilon", "privacy budget"}});
+  const double epsilon = flags.GetDouble("epsilon", 2.0);
+
+  const gcon::DatasetSpec spec = gcon::Scaled(gcon::CiteSeerSpec(), 0.15);
+  gcon::Rng rng(3);
+  const gcon::Graph graph = gcon::GenerateDataset(spec, &rng);
+  const gcon::Split split = gcon::MakeSplit(spec, graph, &rng);
+  const double delta = 1.0 / static_cast<double>(2 * graph.num_edges());
+
+  // Round-trip the dataset through the on-disk format, as a user with real
+  // data would (convert once, load everywhere).
+  const std::string path = "/tmp/gcon_example_citeseer.graph";
+  gcon::SaveGraph(graph, path);
+  const gcon::Graph loaded = gcon::LoadGraph(path);
+  std::remove(path.c_str());
+  std::cout << "round-tripped " << loaded.num_nodes() << " nodes / "
+            << loaded.num_edges() << " edges through " << path << "\n";
+
+  gcon::GconConfig config;
+  config.epsilon = epsilon;
+  config.delta = delta;
+  config.alpha = 0.8;  // best on CiteSeer per Figure 4
+  config.steps = {2};
+  config.encoder.hidden = 32;
+  config.encoder.out_dim = 16;
+  config.expand_train_set = true;
+  config.seed = 5;
+  const gcon::GconPrepared prepared = gcon::PrepareGcon(loaded, split, config);
+  const gcon::GconModel model =
+      gcon::TrainPrepared(prepared, epsilon, delta, 9);
+
+  auto f1 = [&](const gcon::Graph& g, const gcon::Matrix& logits,
+                const std::vector<int>& idx) {
+    return gcon::MicroF1FromLogits(logits, g.labels(), idx, g.num_classes());
+  };
+
+  // (i) private inference on the training graph.
+  const gcon::Matrix private_logits = gcon::PrivateInference(prepared, model);
+  std::cout << "(i)   private test graph  micro-F1 = "
+            << f1(loaded, private_logits, split.test) << "\n";
+
+  // (ii) public test graph: full propagation.
+  const gcon::Matrix public_logits = gcon::PublicInference(prepared, model);
+  std::cout << "(ii)  public test graph   micro-F1 = "
+            << f1(loaded, public_logits, split.test) << "\n";
+
+  // (iii) transfer to a fresh graph from the same domain.
+  gcon::Rng rng2(17);
+  const gcon::Graph other = gcon::GenerateDataset(spec, &rng2);
+  std::vector<int> all_nodes;
+  for (int v = 0; v < other.num_nodes(); ++v) all_nodes.push_back(v);
+  const gcon::Matrix transfer_logits =
+      gcon::PrivateInferenceOnGraph(prepared, model, other);
+  std::cout << "(iii) transfer graph      micro-F1 = "
+            << f1(other, transfer_logits, all_nodes) << "\n";
+
+  std::cout << "\nPublic-graph inference can use the full receptive field\n"
+               "(Figure 3 of the paper), so (ii) typically beats (i);\n"
+               "(iii) shows the released model generalizes beyond the\n"
+               "training graph without spending extra privacy budget.\n";
+  return 0;
+}

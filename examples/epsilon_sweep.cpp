@@ -1,0 +1,70 @@
+// Privacy-utility trade-off sweep: trains GCON across a grid of privacy
+// budgets on one dataset and prints the utility curve together with the
+// Theorem 1 noise parameters — the single-dataset version of Figure 1.
+//
+//   ./build/examples/epsilon_sweep [--dataset=citeseer] [--runs=3]
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/gcon.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+#include "rng/rng.h"
+
+int main(int argc, char** argv) {
+  gcon::Flags flags(argc, argv,
+                    {{"dataset", "dataset name (default citeseer)"},
+                     {"scale", "dataset scale factor (default 0.2)"},
+                     {"runs", "noise redraws per point (default 3)"},
+                     {"no-expand", "disable pseudo-label train-set expansion"}});
+  const std::string name = flags.GetString("dataset", "citeseer");
+  const double scale = flags.GetDouble("scale", 0.2);
+  const int runs = flags.GetInt("runs", 3);
+  const bool expand = !flags.GetBool("no-expand", false);
+
+  const gcon::DatasetSpec spec = gcon::Scaled(gcon::SpecByName(name), scale);
+  gcon::Rng rng(1);
+  const gcon::Graph graph = gcon::GenerateDataset(spec, &rng);
+  const gcon::Split split = gcon::MakeSplit(spec, graph, &rng);
+  const double delta = 1.0 / static_cast<double>(2 * graph.num_edges());
+
+  gcon::GconConfig config;
+  config.alpha = 0.6;
+  config.steps = {2};
+  config.encoder.hidden = 32;
+  config.encoder.out_dim = 16;
+  config.expand_train_set = expand;  // the paper's n1 = n option
+  config.seed = 11;
+
+  // The encoder/propagation prefix does not depend on epsilon: prepare once.
+  const gcon::GconPrepared prepared = gcon::PrepareGcon(graph, split, config);
+
+  gcon::SeriesTable table("GCON privacy-utility sweep on " + spec.name, "eps",
+                          {"micro_f1", "noise_radius", "lambda_prime"});
+  for (double eps : {0.5, 1.0, 2.0, 3.0, 4.0}) {
+    std::vector<double> f1s;
+    double radius = 0.0, lambda_prime = 0.0;
+    for (int r = 0; r < runs; ++r) {
+      const gcon::GconModel model = gcon::TrainPrepared(
+          prepared, eps, delta, static_cast<std::uint64_t>(100 * eps + r));
+      const gcon::Matrix logits = gcon::PrivateInference(prepared, model);
+      f1s.push_back(gcon::MicroF1FromLogits(
+          logits, graph.labels(), split.test, graph.num_classes()));
+      radius = static_cast<double>(prepared.z.cols()) / model.params.beta;
+      lambda_prime = model.params.lambda_prime;
+    }
+    const gcon::RunStats stats = gcon::Summarize(f1s);
+    table.AddRow(gcon::FormatDouble(eps, 1),
+                 {stats.mean, radius, lambda_prime},
+                 {stats.stddev, std::nan(""), std::nan("")});
+  }
+  table.Print(std::cout);
+  std::cout << "\nInterpretation: the expected noise radius E||b|| = d/beta\n"
+               "shrinks as the budget grows, and utility rises toward the\n"
+               "non-private ceiling (see bench_fig1 for the full comparison).\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Edge-inference attack demo: how much do released models leak about the
+// private edge set, and how does GCON's budget control that leakage?
+//
+//   ./build/examples/link_attack_demo [--pairs=800]
+//
+// Runs the posterior-similarity attack (He et al.-style, eval/attack.h)
+// against (a) a non-private GCN and (b) GCON across a grid of epsilon.
+// Expected shape: the GCN's attack AUC is clearly above chance on a
+// homophilous graph, while GCON's stays lower and decreases with epsilon.
+#include <iostream>
+
+#include "baselines/gcn.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/gcon.h"
+#include "core/model_io.h"
+#include "eval/attack.h"
+#include "eval/experiment.h"
+#include "eval/influence_attack.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+#include "rng/rng.h"
+
+int main(int argc, char** argv) {
+  gcon::Flags flags(argc, argv, {{"pairs", "attack pairs per class (default 800)"}});
+  const int pairs = flags.GetInt("pairs", 800);
+
+  gcon::DatasetSpec spec = gcon::TinySpec();
+  spec.num_nodes = 500;
+  spec.num_undirected_edges = 2000;
+  spec.homophily = 0.9;
+  spec.topic_bias = 0.45;  // weak features: the graph carries the signal
+  spec.train_per_class = 20;
+  spec.val_size = 80;
+  spec.test_size = 160;
+  gcon::Rng rng(11);
+  const gcon::Graph graph = gcon::GenerateDataset(spec, &rng);
+  const gcon::Split split = gcon::MakeSplit(spec, graph, &rng);
+  const double delta = 1.0 / static_cast<double>(2 * graph.num_edges());
+
+  // Reference point: the non-private GCN.
+  gcon::GcnOptions gcn_options;
+  gcn_options.hidden = 32;
+  gcn_options.epochs = 200;
+  gcn_options.seed = 21;
+  const gcon::Matrix gcn_logits =
+      gcon::TrainGcnAndPredict(graph, split, gcn_options);
+  gcon::Rng attack_rng(31);
+  const double gcn_auc =
+      gcon::PosteriorSimilarityAttack(gcn_logits, graph, pairs, &attack_rng)
+          .auc;
+  const double gcn_f1 = gcon::MicroF1FromLogits(
+      gcn_logits, graph.labels(), split.test, graph.num_classes());
+  std::cout << "GCN (non-DP): attack AUC = " << gcn_auc
+            << ", micro-F1 = " << gcn_f1 << "\n\n";
+
+  gcon::GconConfig config;
+  config.alpha = 0.6;
+  config.steps = {2};
+  config.encoder.hidden = 32;
+  config.encoder.out_dim = 16;
+  config.expand_train_set = true;
+  config.seed = 41;
+  const gcon::GconPrepared prepared = gcon::PrepareGcon(graph, split, config);
+
+  gcon::SeriesTable table("GCON: leakage vs budget", "eps",
+                          {"attack_auc", "micro_f1"});
+  for (double eps : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const gcon::GconModel model = gcon::TrainPrepared(
+        prepared, eps, delta, static_cast<std::uint64_t>(eps * 977));
+    const gcon::Matrix logits = gcon::PrivateInference(prepared, model);
+    gcon::Rng arng(static_cast<std::uint64_t>(eps * 131));
+    const double auc =
+        gcon::PosteriorSimilarityAttack(logits, graph, pairs, &arng).auc;
+    const double f1 = gcon::MicroF1FromLogits(
+        logits, graph.labels(), split.test, graph.num_classes());
+    table.AddRow(gcon::FormatDouble(eps, 1), {auc, f1});
+  }
+  table.Print(std::cout);
+
+  std::cout
+      << "\nNote: some AUC above 0.5 is expected even for a perfectly\n"
+         "private model — homophily correlates posteriors with edges through\n"
+         "the labels alone. The meaningful comparison is against the\n"
+         "non-private GCN's AUC above.\n\n";
+
+  // Part 2: LinkTeller-style influence attack against an inference API.
+  // This is why §IV-C6 restricts each query to the node's OWN edges: if the
+  // server exposed graph-propagated predictions for arbitrary nodes, an
+  // active attacker could recover edges by probing features, DP training
+  // notwithstanding — the leak would be in the inference path, not in Θ.
+  {
+    const gcon::GconModel model =
+        gcon::TrainPrepared(prepared, 4.0, delta, 4242);
+    const gcon::GconArtifact artifact =
+        gcon::MakeArtifact(prepared, model, 4.0, delta);
+    auto api_one_hop = [&](const gcon::Matrix& x) {
+      gcon::Graph probed = graph;           // same topology,
+      probed.set_features(x);               // attacker-chosen features
+      return artifact.Infer(probed);        // Eq. (16): one-hop only
+    };
+    auto api_full_propagation = [&](const gcon::Matrix& x) {
+      gcon::Graph probed = graph;
+      probed.set_features(x);
+      return gcon::PublicInferenceOnGraph(prepared, model, probed);
+    };
+    gcon::Rng rng_a(71), rng_b(72);
+    const auto one_hop = gcon::InfluenceAttack(
+        api_one_hop, graph.features(), graph, 400, 0.05, &rng_a);
+    const auto full = gcon::InfluenceAttack(
+        api_full_propagation, graph.features(), graph, 400, 0.05, &rng_b);
+    std::cout << "Influence attack vs an inference API (GCON at eps=4):\n"
+              << "  full-propagation serving (unsafe): AUC = " << full.auc
+              << "\n"
+              << "  one-hop serving (Eq. 16, per-user): AUC = " << one_hop.auc
+              << "\n"
+              << "Both recover structure the API itself reads — the paper's\n"
+              << "deployment only ever answers a node about itself, so the\n"
+              << "one-hop edges an attacker could 'recover' are the querying\n"
+              << "user's own, already-known connections.\n";
+  }
+  return 0;
+}

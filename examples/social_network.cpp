@@ -1,0 +1,94 @@
+// Domain scenario: a social network wants to ship a node-classification
+// model (e.g. interest-group prediction) without the model leaking who is
+// connected to whom — the motivating use case from the paper's §I.
+//
+//   ./build/examples/social_network [--epsilon=1.0]
+//
+// Compares three deployments on the same friendship graph:
+//   1. non-private GCN      — best utility, leaks edges to inference attacks
+//   2. GCON at (eps, delta) — provable edge-DP
+//   3. plain MLP            — trivially private, ignores the graph
+// and runs the posterior-similarity edge-inference attack against each to
+// show the empirical privacy/utility triangle.
+#include <iostream>
+
+#include "baselines/gcn.h"
+#include "baselines/mlp_baseline.h"
+#include "common/flags.h"
+#include "core/gcon.h"
+#include "eval/attack.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+#include "graph/stats.h"
+#include "rng/rng.h"
+
+int main(int argc, char** argv) {
+  gcon::Flags flags(argc, argv, {{"epsilon", "GCON privacy budget"}});
+  const double epsilon = flags.GetDouble("epsilon", 1.0);
+
+  // A "friendship graph": strongly homophilous communities (people connect
+  // within interest groups), modest feature signal (profiles are noisy).
+  gcon::DatasetSpec spec = gcon::TinySpec();
+  spec.name = "social";
+  spec.num_nodes = 600;
+  spec.num_undirected_edges = 2400;
+  spec.num_classes = 4;
+  spec.num_features = 64;
+  spec.homophily = 0.92;
+  spec.topic_bias = 0.4;
+  spec.train_per_class = 20;
+  spec.val_size = 100;
+  spec.test_size = 200;
+  gcon::Rng rng(2024);
+  const gcon::Graph graph = gcon::GenerateDataset(spec, &rng);
+  const gcon::Split split = gcon::MakeSplit(spec, graph, &rng);
+  const double delta = 1.0 / static_cast<double>(2 * graph.num_edges());
+  std::cout << "friendship graph: " << graph.num_nodes() << " users, "
+            << graph.num_edges() << " private connections, homophily "
+            << gcon::HomophilyRatio(graph) << "\n\n";
+
+  auto evaluate = [&](const char* label, const gcon::Matrix& logits) {
+    const double f1 = gcon::MicroF1FromLogits(
+        logits, graph.labels(), split.test, graph.num_classes());
+    gcon::Rng attack_rng(7);
+    const gcon::AttackResult attack =
+        gcon::PosteriorSimilarityAttack(logits, graph, 800, &attack_rng);
+    std::cout << label << ": test micro-F1 = " << f1
+              << ", edge-inference attack AUC = " << attack.auc << "\n";
+  };
+
+  // 1. Non-private GCN.
+  gcon::GcnOptions gcn_options;
+  gcn_options.hidden = 32;
+  gcn_options.epochs = 200;
+  gcn_options.seed = 1;
+  evaluate("GCN (non-DP) ", gcon::TrainGcnAndPredict(graph, split, gcn_options));
+
+  // 2. GCON with edge DP.
+  gcon::GconConfig config;
+  config.epsilon = epsilon;
+  config.delta = delta;
+  config.alpha = 0.8;
+  config.steps = {2};
+  config.encoder.hidden = 32;
+  config.encoder.out_dim = 16;
+  config.expand_train_set = true;
+  config.seed = 2;
+  const gcon::GconPrepared prepared = gcon::PrepareGcon(graph, split, config);
+  const gcon::GconModel model =
+      gcon::TrainPrepared(prepared, epsilon, delta, 3);
+  evaluate("GCON (edge-DP)", gcon::PrivateInference(prepared, model));
+
+  // 3. Features-only MLP.
+  gcon::MlpBaselineOptions mlp_options;
+  mlp_options.hidden = 32;
+  mlp_options.epochs = 200;
+  mlp_options.seed = 4;
+  evaluate("MLP (no graph)", gcon::TrainMlpAndPredict(graph, split, mlp_options));
+
+  std::cout << "\nGCON should sit between the MLP floor and the GCN ceiling\n"
+               "in utility while bounding what any attack can learn about\n"
+               "individual connections (epsilon=" << epsilon << ", delta="
+            << delta << ").\n";
+  return 0;
+}

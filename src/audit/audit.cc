@@ -1,0 +1,88 @@
+#include "audit/audit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audit/beta_dist.h"
+#include "common/check.h"
+
+namespace gcon {
+namespace {
+
+int CountAbove(const std::vector<double>& sorted, double t) {
+  // # of elements strictly greater than t.
+  return static_cast<int>(sorted.end() -
+                          std::upper_bound(sorted.begin(), sorted.end(), t));
+}
+
+}  // namespace
+
+AuditResult AuditFromSamples(const std::vector<double>& scores_d,
+                             const std::vector<double>& scores_d_prime,
+                             const AuditOptions& options) {
+  GCON_CHECK(!scores_d.empty());
+  GCON_CHECK(!scores_d_prime.empty());
+  GCON_CHECK_GE(options.delta, 0.0);
+  GCON_CHECK_GT(options.threshold_grid, 0);
+
+  std::vector<double> d_sorted = scores_d;
+  std::vector<double> dp_sorted = scores_d_prime;
+  std::sort(d_sorted.begin(), d_sorted.end());
+  std::sort(dp_sorted.begin(), dp_sorted.end());
+
+  // Candidate thresholds: quantiles of the pooled sample.
+  std::vector<double> pooled = d_sorted;
+  pooled.insert(pooled.end(), dp_sorted.begin(), dp_sorted.end());
+  std::sort(pooled.begin(), pooled.end());
+  std::vector<double> thresholds;
+  thresholds.reserve(static_cast<std::size_t>(options.threshold_grid));
+  for (int g = 1; g <= options.threshold_grid; ++g) {
+    const std::size_t idx = std::min(
+        pooled.size() - 1,
+        pooled.size() * static_cast<std::size_t>(g) /
+            static_cast<std::size_t>(options.threshold_grid + 1));
+    thresholds.push_back(pooled[idx]);
+  }
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  // Bonferroni across (threshold, direction, which-side-is-numerator):
+  // 4 Clopper–Pearson bounds per threshold.
+  const double per_test_confidence =
+      1.0 - (1.0 - options.confidence) /
+                (4.0 * static_cast<double>(thresholds.size()));
+
+  const int n_d = static_cast<int>(d_sorted.size());
+  const int n_dp = static_cast<int>(dp_sorted.size());
+
+  AuditResult best;
+  auto consider = [&](double t, bool greater, int k_d, int k_dp) {
+    const BinomialInterval ci_d = ClopperPearson(k_d, n_d, per_test_confidence);
+    const BinomialInterval ci_dp =
+        ClopperPearson(k_dp, n_dp, per_test_confidence);
+    // Direction 1: D as numerator.
+    if (ci_d.lower - options.delta > 0.0 && ci_dp.upper > 0.0) {
+      const double eps = std::log((ci_d.lower - options.delta) / ci_dp.upper);
+      if (eps > best.eps_lower_bound) {
+        best = AuditResult{eps, t, greater, ci_d.lower, ci_dp.upper};
+      }
+    }
+    // Direction 2: D' as numerator (DP is symmetric in the pair).
+    if (ci_dp.lower - options.delta > 0.0 && ci_d.upper > 0.0) {
+      const double eps = std::log((ci_dp.lower - options.delta) / ci_d.upper);
+      if (eps > best.eps_lower_bound) {
+        best = AuditResult{eps, t, greater, ci_dp.lower, ci_d.upper};
+      }
+    }
+  };
+
+  for (double t : thresholds) {
+    const int above_d = CountAbove(d_sorted, t);
+    const int above_dp = CountAbove(dp_sorted, t);
+    consider(t, /*greater=*/true, above_d, above_dp);
+    consider(t, /*greater=*/false, n_d - above_d, n_dp - above_dp);
+  }
+  return best;
+}
+
+}  // namespace gcon

@@ -1,0 +1,52 @@
+// Empirical differential-privacy audit via hypothesis-testing lower bounds.
+//
+// For any randomized mechanism M, neighboring inputs D, D', and measurable
+// event S, (epsilon, delta)-DP implies
+//   P[M(D) in S] <= e^eps * P[M(D') in S] + delta,
+// so  eps >= log( (P[M(D) in S] - delta) / P[M(D') in S] ).
+// Given Monte-Carlo samples of a scalar *projection* of M's output under D
+// and D', this module scans threshold events S = {score > t} over a grid of
+// candidate thresholds (pooled-sample quantiles, both tail directions) and
+// reports the largest statistically sound lower bound:
+//   * numerator probability -> Clopper–Pearson LOWER bound,
+//   * denominator probability -> Clopper–Pearson UPPER bound,
+//   * confidence Bonferroni-corrected across the grid,
+// so eps_lower_bound <= true epsilon with probability >= confidence.
+//
+// An audit CANNOT prove a mechanism private — but a lower bound exceeding
+// the configured epsilon proves the implementation broken, which is exactly
+// the regression signal we want for the Theorem 1 plumbing.
+#ifndef GCON_AUDIT_AUDIT_H_
+#define GCON_AUDIT_AUDIT_H_
+
+#include <vector>
+
+namespace gcon {
+
+struct AuditOptions {
+  double delta = 0.0;        ///< the mechanism's delta
+  double confidence = 0.95;  ///< overall confidence of the reported bound
+  int threshold_grid = 16;   ///< candidate thresholds per direction
+};
+
+struct AuditResult {
+  /// Largest sound lower bound on epsilon found (0 if no event separates
+  /// the two sample sets).
+  double eps_lower_bound = 0.0;
+  /// The threshold and direction achieving it (score > t or score < t).
+  double threshold = 0.0;
+  bool greater_than = true;
+  /// The bound's ingredients at the winning threshold.
+  double p_d_lower = 0.0;   ///< CP lower bound of P[score(M(D)) in S]
+  double p_dp_upper = 1.0;  ///< CP upper bound of P[score(M(D')) in S]
+};
+
+/// Audits from scalar samples of the mechanism's projected output under D
+/// (`scores_d`) and D' (`scores_d_prime`).
+AuditResult AuditFromSamples(const std::vector<double>& scores_d,
+                             const std::vector<double>& scores_d_prime,
+                             const AuditOptions& options);
+
+}  // namespace gcon
+
+#endif  // GCON_AUDIT_AUDIT_H_

@@ -1,0 +1,114 @@
+#include "audit/beta_dist.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gcon {
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEps = 1e-15;
+constexpr double kTiny = 1e-300;
+
+// Continued fraction for the incomplete beta (Lentz's algorithm).
+double BetaContinuedFraction(double a, double b, double x) {
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedBetaI(double a, double b, double x) {
+  GCON_CHECK_GT(a, 0.0);
+  GCON_CHECK_GT(b, 0.0);
+  GCON_CHECK_GE(x, 0.0);
+  GCON_CHECK_LE(x, 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
+                           std::lgamma(b) + a * std::log(x) +
+                           b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  // Use the continued fraction directly where it converges fast, and the
+  // symmetry I_x(a,b) = 1 - I_{1-x}(b,a) elsewhere.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - std::exp(std::lgamma(a + b) - std::lgamma(a) -
+                        std::lgamma(b) + a * std::log(x) +
+                        b * std::log1p(-x)) *
+                   BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double BetaQuantile(double a, double b, double prob) {
+  GCON_CHECK_GE(prob, 0.0);
+  GCON_CHECK_LE(prob, 1.0);
+  if (prob == 0.0) return 0.0;
+  if (prob == 1.0) return 1.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (RegularizedBetaI(a, b, mid) >= prob) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    if (hi - lo < 1e-14) break;
+  }
+  return hi;
+}
+
+BinomialInterval ClopperPearson(int successes, int trials, double confidence) {
+  GCON_CHECK_GE(successes, 0);
+  GCON_CHECK_LE(successes, trials);
+  GCON_CHECK_GT(trials, 0);
+  GCON_CHECK_GT(confidence, 0.0);
+  GCON_CHECK_LT(confidence, 1.0);
+  const double alpha = 1.0 - confidence;
+  BinomialInterval interval;
+  if (successes == 0) {
+    interval.lower = 0.0;
+  } else {
+    interval.lower = BetaQuantile(static_cast<double>(successes),
+                                  static_cast<double>(trials - successes + 1),
+                                  alpha / 2.0);
+  }
+  if (successes == trials) {
+    interval.upper = 1.0;
+  } else {
+    interval.upper = BetaQuantile(static_cast<double>(successes + 1),
+                                  static_cast<double>(trials - successes),
+                                  1.0 - alpha / 2.0);
+  }
+  return interval;
+}
+
+}  // namespace gcon

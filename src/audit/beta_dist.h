@@ -1,0 +1,32 @@
+// Regularized incomplete beta function and Clopper–Pearson intervals.
+//
+// The empirical privacy audit needs exact binomial confidence bounds; the
+// Clopper–Pearson interval for k successes in n trials at confidence 1-a is
+//   lower = BetaInv(a/2; k, n-k+1),  upper = BetaInv(1-a/2; k+1, n-k),
+// where BetaInv is the quantile of the Beta distribution, computed here by
+// bisection on the regularized incomplete beta I_x(a, b) (continued
+// fraction, Numerical-Recipes style).
+#ifndef GCON_AUDIT_BETA_DIST_H_
+#define GCON_AUDIT_BETA_DIST_H_
+
+namespace gcon {
+
+/// Regularized incomplete beta I_x(a, b), a,b > 0, x in [0, 1].
+double RegularizedBetaI(double a, double b, double x);
+
+/// Quantile of Beta(a, b): smallest x with I_x(a, b) >= prob.
+double BetaQuantile(double a, double b, double prob);
+
+struct BinomialInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// Exact (Clopper–Pearson) two-sided confidence interval for the success
+/// probability after observing `successes` out of `trials`, at confidence
+/// level `confidence` (e.g. 0.95).
+BinomialInterval ClopperPearson(int successes, int trials, double confidence);
+
+}  // namespace gcon
+
+#endif  // GCON_AUDIT_BETA_DIST_H_

@@ -1,0 +1,93 @@
+#include "audit/gcon_audit.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "linalg/ops.h"
+
+namespace gcon {
+namespace {
+
+// Edge incident to the highest-degree node (its removal shifts the
+// normalized aggregation of the most rows).
+std::pair<int, int> PickHubEdge(const Graph& graph) {
+  int hub = 0;
+  for (int v = 1; v < graph.num_nodes(); ++v) {
+    if (graph.Degree(v) > graph.Degree(hub)) hub = v;
+  }
+  GCON_CHECK_GT(graph.Degree(hub), 0) << "graph has no edges to audit";
+  return {hub, graph.Neighbors(hub).front()};
+}
+
+}  // namespace
+
+GconAuditResult AuditGcon(const Graph& graph, const Split& split,
+                          const GconConfig& config, double epsilon,
+                          double delta, const GconAuditOptions& options) {
+  GCON_CHECK_GT(options.trials, 1);
+
+  GconAuditResult result;
+  result.configured_epsilon = epsilon;
+  result.configured_delta = delta;
+  result.trials = options.trials;
+  result.edge = options.edge;
+  if (result.edge.first < 0) {
+    result.edge = PickHubEdge(graph);
+  }
+
+  // Shared encoder (edge-free), then the two neighboring worlds.
+  EncoderOptions encoder_options = config.encoder;
+  encoder_options.seed = config.seed;
+  const EncodedFeatures encoded = TrainEncoder(graph, split, encoder_options);
+
+  Graph neighbor = graph;
+  GCON_CHECK(neighbor.RemoveEdge(result.edge.first, result.edge.second))
+      << "audit edge does not exist";
+
+  const GconPrepared prep_d =
+      PrepareGconFromEncoded(graph, split, config, encoded);
+  const GconPrepared prep_dp =
+      PrepareGconFromEncoded(neighbor, split, config, encoded);
+
+  // Projection direction: difference of the noise-free optima.
+  GconConfig clean_config = config;
+  clean_config.disable_noise = true;
+  GconPrepared clean_d = prep_d;
+  clean_d.config = clean_config;
+  GconPrepared clean_dp = prep_dp;
+  clean_dp.config = clean_config;
+  const Matrix theta_d = TrainPrepared(clean_d, epsilon, delta, 0).theta;
+  const Matrix theta_dp = TrainPrepared(clean_dp, epsilon, delta, 0).theta;
+  Matrix direction = Sub(theta_d, theta_dp);
+  const double norm = FrobeniusNorm(direction);
+  if (norm < 1e-14) {
+    GCON_LOG(WARNING) << "audit: worlds are indistinguishable even without "
+                         "noise; eps_hat will be 0";
+  } else {
+    ScaleInPlace(1.0 / norm, &direction);
+  }
+
+  // Sample the mechanism in both worlds and project.
+  std::vector<double> scores_d, scores_dp;
+  scores_d.reserve(static_cast<std::size_t>(options.trials));
+  scores_dp.reserve(static_cast<std::size_t>(options.trials));
+  for (int trial = 0; trial < options.trials; ++trial) {
+    const std::uint64_t seed_base =
+        options.seed + 1000003ULL * static_cast<std::uint64_t>(trial);
+    scores_d.push_back(DotAll(
+        TrainPrepared(prep_d, epsilon, delta, seed_base).theta, direction));
+    scores_dp.push_back(DotAll(
+        TrainPrepared(prep_dp, epsilon, delta, seed_base + 7).theta,
+        direction));
+  }
+
+  AuditOptions audit_options;
+  audit_options.delta = delta;
+  audit_options.confidence = options.confidence;
+  audit_options.threshold_grid = options.threshold_grid;
+  result.attack = AuditFromSamples(scores_d, scores_dp, audit_options);
+  return result;
+}
+
+}  // namespace gcon

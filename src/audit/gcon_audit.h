@@ -1,0 +1,52 @@
+// Applies the empirical DP audit to GCON's release mechanism.
+//
+// The audited mechanism is the full edge-dependent pipeline
+//   D = (V, E, X, Y)  ->  Theta_priv
+// with the encoder held fixed (it never reads edges, so it is part of the
+// "public preprocessing" shared by D and its neighbor D'). D' removes one
+// edge — by default one incident to the highest-degree node, which moves
+// the propagated features the most (the near-adversarial case of Lemma 2).
+// Theta is projected onto the direction separating the two noise-free
+// optima (the most distinguishing linear statistic), and the threshold
+// attack of audit.h yields a sound lower bound eps_hat <= eps.
+//
+// eps_hat > eps (beyond confidence slack) would demonstrate a bug in the
+// Theorem 1 calibration; eps_hat well below eps is expected — audits only
+// certify violations, not compliance.
+#ifndef GCON_AUDIT_GCON_AUDIT_H_
+#define GCON_AUDIT_GCON_AUDIT_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "audit/audit.h"
+#include "core/gcon.h"
+
+namespace gcon {
+
+struct GconAuditOptions {
+  int trials = 300;          ///< Theta samples per world (D and D')
+  double confidence = 0.95;  ///< statistical confidence of the bound
+  int threshold_grid = 16;
+  std::uint64_t seed = 1;
+  /// Edge to remove for D'; {-1, -1} = auto-pick a hub edge.
+  std::pair<int, int> edge = {-1, -1};
+};
+
+struct GconAuditResult {
+  AuditResult attack;          ///< eps_hat and the winning threshold event
+  double configured_epsilon = 0.0;
+  double configured_delta = 0.0;
+  std::pair<int, int> edge = {-1, -1};  ///< the edge actually flipped
+  int trials = 0;
+};
+
+/// Runs the audit of GCON at (epsilon, delta) on `graph`. `config`'s own
+/// epsilon/delta are ignored in favor of the explicit arguments.
+GconAuditResult AuditGcon(const Graph& graph, const Split& split,
+                          const GconConfig& config, double epsilon,
+                          double delta, const GconAuditOptions& options);
+
+}  // namespace gcon
+
+#endif  // GCON_AUDIT_GCON_AUDIT_H_

@@ -1,0 +1,15 @@
+#include "baselines/dpgcn.h"
+
+#include "dp/graph_perturbation.h"
+#include "rng/rng.h"
+
+namespace gcon {
+
+Matrix TrainDpgcnAndPredict(const Graph& graph, const Split& split,
+                            double epsilon, const DpgcnOptions& options) {
+  Rng rng(options.gcn.seed + 0xD9);
+  const Graph perturbed = LapGraph(graph, epsilon, &rng, options.count_split);
+  return TrainGcnAndPredict(perturbed, split, options.gcn);
+}
+
+}  // namespace gcon

@@ -1,0 +1,32 @@
+// DPGCN baseline: perturb the topology, then train a standard GCN.
+//
+// Following Wu et al. (LinkTeller, IEEE S&P 2022), the input graph's
+// adjacency is randomized under edge DP — LapGraph by default (EdgeRand is
+// available for small graphs via dp/graph_perturbation.h) — and the plain
+// 2-layer GCN is trained and evaluated on the perturbed graph. Everything
+// downstream of the perturbation is post-processing, so the released model
+// (and its predictions through the perturbed adjacency) are ε-edge-DP.
+#ifndef GCON_BASELINES_DPGCN_H_
+#define GCON_BASELINES_DPGCN_H_
+
+#include "baselines/gcn.h"
+#include "graph/graph.h"
+#include "graph/splits.h"
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+struct DpgcnOptions {
+  GcnOptions gcn;
+  /// Fraction of epsilon spent on the LapGraph noisy edge count.
+  double count_split = 0.01;
+};
+
+/// Perturbs `graph` with LapGraph(epsilon) and trains/evaluates the GCN on
+/// the result. Returns logits for all nodes.
+Matrix TrainDpgcnAndPredict(const Graph& graph, const Split& split,
+                            double epsilon, const DpgcnOptions& options);
+
+}  // namespace gcon
+
+#endif  // GCON_BASELINES_DPGCN_H_

@@ -1,0 +1,38 @@
+// DP-SGD baseline (Abadi et al., CCS 2016) adapted to edge DP on a GCN.
+//
+// Model: one-layer SGC — logits = (Ã X) W with Ã = D^{-1}(A+I) — trained
+// with per-node gradient clipping and Gaussian noise. The row-normalized
+// Ã is used (not the symmetric one) so that adding/removing an edge only
+// changes the aggregated features — and therefore the per-node gradients —
+// of its two endpoints. Following the paper's §I analysis, one edge then
+// perturbs two clipped gradients, so the L2 sensitivity of the summed batch
+// gradient is 2τ (vs τ for i.i.d. records): the noise is scaled by 2τ·σ
+// where σ comes from the subsampled-Gaussian RDP accountant at the given
+// (ε, δ), Poisson rate q, and step count.
+#ifndef GCON_BASELINES_DPSGD_GCN_H_
+#define GCON_BASELINES_DPSGD_GCN_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/splits.h"
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+struct DpsgdOptions {
+  double clip = 1.0;         // per-node gradient clip τ
+  int steps = 300;           // optimization steps T
+  double sample_rate = 0.2;  // Poisson sampling rate q
+  double learning_rate = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Trains with DP-SGD at (epsilon, delta) and returns logits for all nodes.
+Matrix TrainDpsgdGcnAndPredict(const Graph& graph, const Split& split,
+                               double epsilon, double delta,
+                               const DpsgdOptions& options);
+
+}  // namespace gcon
+
+#endif  // GCON_BASELINES_DPSGD_GCN_H_

@@ -1,0 +1,43 @@
+// GAP-EDP baseline (Sajadmanesh et al., USENIX Security 2023).
+//
+// Three modules:
+//   1. Encoder MLP trained on features/labels only (edge-free).
+//   2. Private Multi-hop Aggregation (PMA): starting from row-normalized
+//      encoded features X_0, each hop computes A·X_{k-1}, row-normalizes,
+//      and adds Gaussian noise. With unit-norm rows, one undirected edge
+//      changes two rows of A·X by one unit vector each — L2 sensitivity
+//      sqrt(2). The K releases are composed with zCDP and calibrated to the
+//      total (epsilon, delta).
+//   3. Classification MLP on the concatenation of all cached hops
+//      (post-processing of DP releases; trainable without privacy cost).
+#ifndef GCON_BASELINES_GAP_H_
+#define GCON_BASELINES_GAP_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/splits.h"
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+struct GapOptions {
+  int hops = 2;  // K (the paper's DP-GNN baselines degrade fast above 2)
+  int encoder_hidden = 32;
+  int encoder_dim = 16;
+  int encoder_epochs = 150;
+  int head_hidden = 32;
+  int head_epochs = 200;
+  double learning_rate = 0.01;
+  double weight_decay = 1e-5;
+  std::uint64_t seed = 1;
+};
+
+/// Trains GAP-EDP at (epsilon, delta) and returns logits for all nodes.
+Matrix TrainGapAndPredict(const Graph& graph, const Split& split,
+                          double epsilon, double delta,
+                          const GapOptions& options);
+
+}  // namespace gcon
+
+#endif  // GCON_BASELINES_GAP_H_

@@ -1,0 +1,43 @@
+// Two-layer graph convolutional network (Kipf & Welling 2017).
+//
+// The non-private GCN is the utility upper bound in Figure 1
+// ("GCN (non-DP)"); the same implementation trained on a perturbed graph is
+// the DPGCN baseline. Architecture:
+//   S  = Â X,  H = ReLU(S W1 + b1),  logits = Â H W2 + b2,
+// with Â the symmetrically normalized adjacency with self-loops
+// D^{-1/2}(A+I)D^{-1/2}. Training is full-batch Adam on softmax
+// cross-entropy with validation-based model selection; backprop is
+// hand-derived (Â is symmetric, so Âᵀ = Â in the backward pass).
+#ifndef GCON_BASELINES_GCN_H_
+#define GCON_BASELINES_GCN_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/splits.h"
+#include "linalg/matrix.h"
+#include "sparse/csr_matrix.h"
+
+namespace gcon {
+
+struct GcnOptions {
+  int hidden = 32;
+  int epochs = 200;
+  double learning_rate = 0.01;
+  double weight_decay = 5e-4;
+  int eval_every = 5;
+  std::uint64_t seed = 1;
+};
+
+/// Â = D^{-1/2}(A + I)D^{-1/2} (symmetric GCN normalization).
+CsrMatrix SymmetricNormalizedAdjacency(const Graph& graph);
+
+/// Trains the 2-layer GCN on `graph` and returns logits for every node.
+/// The adjacency used for training and inference is `graph`'s own — pass a
+/// perturbed graph to obtain the DPGCN baseline.
+Matrix TrainGcnAndPredict(const Graph& graph, const Split& split,
+                          const GcnOptions& options);
+
+}  // namespace gcon
+
+#endif  // GCON_BASELINES_GCN_H_

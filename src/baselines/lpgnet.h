@@ -1,0 +1,36 @@
+// LPGNet baseline (Kolluri et al., CCS 2022).
+//
+// Stacked MLPs that see the topology only through noisy per-class degree
+// vectors: after an edge-free MLP predicts labels, each stack counts every
+// node's neighbors per predicted class (n x c "degree vectors"), perturbs
+// the counts with Laplace noise — one edge changes two entries by one each,
+// so L1 sensitivity is 2 — normalizes them, and trains the next MLP on
+// [features ⊕ all degree vectors so far]. The budget is split evenly
+// across stacks.
+#ifndef GCON_BASELINES_LPGNET_H_
+#define GCON_BASELINES_LPGNET_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/splits.h"
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+struct LpgnetOptions {
+  int stacks = 2;  // noisy degree-vector rounds
+  int hidden = 32;
+  int epochs = 200;
+  double learning_rate = 0.01;
+  double weight_decay = 1e-5;
+  std::uint64_t seed = 1;
+};
+
+/// Trains LPGNet at budget epsilon and returns logits for all nodes.
+Matrix TrainLpgnetAndPredict(const Graph& graph, const Split& split,
+                             double epsilon, const LpgnetOptions& options);
+
+}  // namespace gcon
+
+#endif  // GCON_BASELINES_LPGNET_H_

@@ -1,0 +1,22 @@
+#include "baselines/mlp_baseline.h"
+
+#include "nn/mlp.h"
+
+namespace gcon {
+
+Matrix TrainMlpAndPredict(const Graph& graph, const Split& split,
+                          const MlpBaselineOptions& options) {
+  MlpOptions mlp_options;
+  mlp_options.dims = {graph.feature_dim(), options.hidden,
+                      graph.num_classes()};
+  mlp_options.hidden_activation = Activation::kRelu;
+  mlp_options.learning_rate = options.learning_rate;
+  mlp_options.weight_decay = options.weight_decay;
+  mlp_options.epochs = options.epochs;
+  mlp_options.seed = options.seed;
+  Mlp mlp(mlp_options);
+  mlp.Train(graph.features(), graph.labels(), split.train, split.val);
+  return mlp.Forward(graph.features());
+}
+
+}  // namespace gcon

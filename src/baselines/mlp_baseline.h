@@ -1,0 +1,30 @@
+// MLP baseline: features-only classifier.
+//
+// Never reads the edge set, so it satisfies edge DP at every budget — the
+// paper uses it as the "no graph information" floor in Figure 1.
+#ifndef GCON_BASELINES_MLP_BASELINE_H_
+#define GCON_BASELINES_MLP_BASELINE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/splits.h"
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+struct MlpBaselineOptions {
+  int hidden = 32;
+  int epochs = 200;
+  double learning_rate = 0.01;
+  double weight_decay = 1e-5;
+  std::uint64_t seed = 1;
+};
+
+/// Trains a 2-layer MLP on node features and returns logits for all nodes.
+Matrix TrainMlpAndPredict(const Graph& graph, const Split& split,
+                          const MlpBaselineOptions& options);
+
+}  // namespace gcon
+
+#endif  // GCON_BASELINES_MLP_BASELINE_H_

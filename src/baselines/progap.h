@@ -1,0 +1,36 @@
+// ProGAP-EDP baseline (Sajadmanesh & Gatica-Perez, WSDM 2024).
+//
+// Progressive variant of GAP: a sequence of stages, each consisting of a
+// noisy aggregation of the previous stage's representation followed by an
+// MLP trained on the concatenation of the previous representation and the
+// noisy aggregate. The S aggregation releases (L2 sensitivity sqrt(2) with
+// unit-norm rows, like GAP) are composed with zCDP.
+#ifndef GCON_BASELINES_PROGAP_H_
+#define GCON_BASELINES_PROGAP_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/splits.h"
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+struct ProgapOptions {
+  int stages = 2;  // S noisy aggregations
+  int hidden = 32;
+  int dim = 16;  // stage representation width
+  int stage_epochs = 150;
+  double learning_rate = 0.01;
+  double weight_decay = 1e-5;
+  std::uint64_t seed = 1;
+};
+
+/// Trains ProGAP-EDP at (epsilon, delta) and returns logits for all nodes.
+Matrix TrainProgapAndPredict(const Graph& graph, const Split& split,
+                             double epsilon, double delta,
+                             const ProgapOptions& options);
+
+}  // namespace gcon
+
+#endif  // GCON_BASELINES_PROGAP_H_

@@ -1,0 +1,67 @@
+// Assertion macros for invariant checking.
+//
+// GCON_CHECK* macros are always on (release and debug): numeric code full of
+// silent NaN paths is harder to debug than a crash with a message. They abort
+// with file/line and a formatted message on failure. Use them for programming
+// errors and precondition violations, not for recoverable conditions.
+#ifndef GCON_COMMON_CHECK_H_
+#define GCON_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gcon {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::cerr << "[GCON CHECK FAILED] " << file << ":" << line << ": " << expr;
+  if (!message.empty()) {
+    std::cerr << " — " << message;
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+// Stream sink that builds the optional message attached to a failing check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gcon
+
+#define GCON_CHECK(cond)                                             \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::gcon::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define GCON_CHECK_EQ(a, b) GCON_CHECK((a) == (b))
+#define GCON_CHECK_NE(a, b) GCON_CHECK((a) != (b))
+#define GCON_CHECK_LT(a, b) GCON_CHECK((a) < (b))
+#define GCON_CHECK_LE(a, b) GCON_CHECK((a) <= (b))
+#define GCON_CHECK_GT(a, b) GCON_CHECK((a) > (b))
+#define GCON_CHECK_GE(a, b) GCON_CHECK((a) >= (b))
+
+#endif  // GCON_COMMON_CHECK_H_

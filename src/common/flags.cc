@@ -1,0 +1,107 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gcon {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv,
+             const std::map<std::string, std::string>& spec)
+    : program_(argc > 0 ? argv[0] : "prog"), spec_(spec) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      // "--name value" form: consume the next token if it is not a flag.
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";  // boolean switch
+      }
+    }
+    if (spec_.find(name) == spec_.end()) {
+      std::cerr << "Unknown flag --" << name << "\n" << Usage();
+      std::exit(2);
+    }
+    values_[name] = value;
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int Flags::GetInt(const std::string& name, int default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::stoi(it->second);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::stod(it->second);
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string Flags::Usage() const {
+  std::ostringstream out;
+  out << "Usage: " << program_ << " [flags]\n";
+  for (const auto& [name, help] : spec_) {
+    out << "  --" << name << ": " << help << "\n";
+  }
+  return out.str();
+}
+
+int EnvInt(const char* name, int default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == env) return default_value;
+  return static_cast<int>(v);
+}
+
+bool EnvBool(const char* name, bool default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return default_value;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+         std::strcmp(env, "yes") == 0 || std::strcmp(env, "on") == 0;
+}
+
+}  // namespace gcon

@@ -1,0 +1,53 @@
+// Tiny command-line flag parser used by benches and examples.
+//
+// Supports "--name=value" and "--name value" forms plus boolean switches
+// ("--full"). Unknown flags abort with a usage message so typos in
+// experiment scripts fail loudly instead of silently running the default
+// configuration.
+#ifndef GCON_COMMON_FLAGS_H_
+#define GCON_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gcon {
+
+/// Parsed command-line flags. Values are stored as strings and converted on
+/// access; every accessor takes a default returned when the flag is absent.
+class Flags {
+ public:
+  /// Parses argv. `spec` maps flag name -> help text; flags outside the spec
+  /// cause an abort with the rendered usage. Positional arguments are kept
+  /// in order and available via positional().
+  Flags(int argc, char** argv, const std::map<std::string, std::string>& spec);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& name, int default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the usage string from the spec given to the constructor.
+  std::string Usage() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> spec_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads an integer from the environment, returning `default_value` when the
+/// variable is unset or unparsable. Used for bench scaling knobs.
+int EnvInt(const char* name, int default_value);
+
+/// Reads a boolean ("1"/"true"/"yes") from the environment.
+bool EnvBool(const char* name, bool default_value);
+
+}  // namespace gcon
+
+#endif  // GCON_COMMON_FLAGS_H_

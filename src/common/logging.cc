@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace gcon {
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("GCON_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "WARNING") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel& GlobalLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return GlobalLevel(); }
+
+void set_log_level(LogLevel level) { GlobalLevel() = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= static_cast<int>(log_level())),
+      level_(level) {
+  if (enabled_) {
+    // Keep only the basename to make log lines compact.
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << LevelName(level_) << " "
+            << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+}
+
+}  // namespace internal
+}  // namespace gcon

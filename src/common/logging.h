@@ -1,0 +1,61 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: GCON_LOG(INFO) << "trained in " << seconds << "s";
+// Levels below the global threshold (set via set_log_level or the
+// GCON_LOG_LEVEL environment variable: DEBUG/INFO/WARNING/ERROR) are
+// compiled in but skipped at runtime.
+#ifndef GCON_COMMON_LOGGING_H_
+#define GCON_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gcon {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Returns the current global log threshold.
+LogLevel log_level();
+
+/// Sets the global log threshold.
+void set_log_level(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gcon
+
+#define GCON_LOG_DEBUG ::gcon::LogLevel::kDebug
+#define GCON_LOG_INFO ::gcon::LogLevel::kInfo
+#define GCON_LOG_WARNING ::gcon::LogLevel::kWarning
+#define GCON_LOG_ERROR ::gcon::LogLevel::kError
+
+#define GCON_LOG(severity) \
+  ::gcon::internal::LogMessage(GCON_LOG_##severity, __FILE__, __LINE__)
+
+#endif  // GCON_COMMON_LOGGING_H_

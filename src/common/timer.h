@@ -1,0 +1,32 @@
+// Wall-clock timer for coarse instrumentation of training phases.
+#ifndef GCON_COMMON_TIMER_H_
+#define GCON_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gcon {
+
+/// Measures elapsed wall-clock time; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_COMMON_TIMER_H_

@@ -1,0 +1,98 @@
+#include "core/convex_loss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gcon {
+namespace {
+
+// Numerically stable softplus: log(1 + e^t).
+double Softplus(double t) {
+  const double abs_t = std::abs(t);
+  return std::max(t, 0.0) + std::log1p(std::exp(-abs_t));
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+ConvexLoss::ConvexLoss(ConvexLossKind kind, int num_classes, double delta_l)
+    : kind_(kind), num_classes_(num_classes), delta_l_(delta_l) {
+  GCON_CHECK_GE(num_classes, 1);
+  const double c = static_cast<double>(num_classes);
+  if (kind_ == ConvexLossKind::kMultiLabelSoftMargin) {
+    c1_ = 1.0 / c;
+    c2_ = 1.0 / (4.0 * c);
+    c3_ = 1.0 / (6.0 * std::sqrt(3.0) * c);
+  } else {
+    GCON_CHECK_GT(delta_l, 0.0);
+    c1_ = delta_l / c;
+    c2_ = 1.0 / c;
+    c3_ = 48.0 * std::sqrt(5.0) / (125.0 * c * delta_l);
+  }
+}
+
+ConvexLoss ConvexLoss::MultiLabelSoftMargin(int num_classes) {
+  return ConvexLoss(ConvexLossKind::kMultiLabelSoftMargin, num_classes, 0.0);
+}
+
+ConvexLoss ConvexLoss::PseudoHuber(int num_classes, double delta_l) {
+  return ConvexLoss(ConvexLossKind::kPseudoHuber, num_classes, delta_l);
+}
+
+double ConvexLoss::Value(double x, double y) const {
+  const double c = static_cast<double>(num_classes_);
+  if (kind_ == ConvexLossKind::kMultiLabelSoftMargin) {
+    // -(1/c)[y log σ(x) + (1-y) log(1-σ(x))]
+    //   = (1/c)[softplus(-x) + (1-y) x].
+    return (Softplus(-x) + (1.0 - y) * x) / c;
+  }
+  const double u = (x - y) / delta_l_;
+  return delta_l_ * delta_l_ / c * (std::sqrt(1.0 + u * u) - 1.0);
+}
+
+double ConvexLoss::D1(double x, double y) const {
+  const double c = static_cast<double>(num_classes_);
+  if (kind_ == ConvexLossKind::kMultiLabelSoftMargin) {
+    return (Sigmoid(x) - y) / c;
+  }
+  const double u = (x - y) / delta_l_;
+  return (x - y) / (c * std::sqrt(u * u + 1.0));
+}
+
+double ConvexLoss::D2(double x, double y) const {
+  const double c = static_cast<double>(num_classes_);
+  if (kind_ == ConvexLossKind::kMultiLabelSoftMargin) {
+    const double s = Sigmoid(x);
+    (void)y;  // ℓ'' does not depend on y for this loss
+    return s * (1.0 - s) / c;
+  }
+  const double u = (x - y) / delta_l_;
+  return 1.0 / (c * std::pow(u * u + 1.0, 1.5));
+}
+
+double ConvexLoss::D3(double x, double y) const {
+  const double c = static_cast<double>(num_classes_);
+  if (kind_ == ConvexLossKind::kMultiLabelSoftMargin) {
+    const double s = Sigmoid(x);
+    (void)y;
+    return s * (1.0 - s) * (1.0 - 2.0 * s) / c;
+  }
+  const double u = (x - y) / delta_l_;
+  return -3.0 * u / (c * delta_l_ * std::pow(u * u + 1.0, 2.5));
+}
+
+std::string ConvexLoss::name() const {
+  return kind_ == ConvexLossKind::kMultiLabelSoftMargin
+             ? "multilabel_soft_margin"
+             : "pseudo_huber";
+}
+
+}  // namespace gcon

@@ -1,0 +1,51 @@
+// MLP feature encoder (Algorithm 3, §IV-C1).
+//
+// Trains an MLP on node features and labels ONLY (no edges touch this
+// stage, so it is edge-DP for free), then maps every node's features
+// through the trained hidden layers to obtain the reduced representation
+// X̄ ∈ R^{n x d1}. Also returns argmax predictions for every node; these
+// serve as pseudo-labels when the training set is expanded to all nodes
+// (the paper's n1 ∈ {n0, n} hyperparameter, Appendix Q).
+#ifndef GCON_CORE_ENCODER_H_
+#define GCON_CORE_ENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/splits.h"
+#include "nn/mlp.h"
+
+namespace gcon {
+
+struct EncoderOptions {
+  int hidden = 32;    // width of the first hidden layer (paper: {8,16,64})
+  int out_dim = 16;   // d1, the encoded dimension
+  int epochs = 200;
+  double learning_rate = 0.01;
+  double weight_decay = 1e-5;
+  Activation activation = Activation::kTanh;
+  std::uint64_t seed = 1;
+};
+
+struct EncodedFeatures {
+  /// X̄: n x d1 hidden representation of every node.
+  Matrix features;
+  /// Encoder argmax prediction for every node (pseudo-label source).
+  std::vector<int> predictions;
+  /// Accuracy of the encoder on the validation split (model selection
+  /// metric); -1 when no validation nodes were provided.
+  double val_accuracy = -1.0;
+  /// The trained network, kept so callers can encode *other* graphs
+  /// (inference scenario (ii) of §IV-C6).
+  Mlp mlp;
+};
+
+/// Trains the encoder on `split.train` (+ model selection on `split.val`)
+/// and encodes all nodes of `graph`.
+EncodedFeatures TrainEncoder(const Graph& graph, const Split& split,
+                             const EncoderOptions& options);
+
+}  // namespace gcon
+
+#endif  // GCON_CORE_ENCODER_H_

@@ -1,0 +1,96 @@
+#include "core/incomplete_gamma.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace gcon {
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEps = 1e-15;
+constexpr double kTiny = 1e-300;
+
+// Series representation: P(a,x) = x^a e^{-x} / Γ(a+1) * Σ_n x^n / ((a+1)...(a+n)).
+// Converges fast for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for Q(a,x) = 1 - P(a,x) (Lentz's algorithm).
+// Converges fast for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEps) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  GCON_CHECK_GT(a, 0.0);
+  GCON_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) {
+    return GammaPSeries(a, x);
+  }
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double GammaQuantile(double a, double prob) {
+  GCON_CHECK_GE(prob, 0.0);
+  GCON_CHECK_LT(prob, 1.0);
+  if (prob == 0.0) return 0.0;
+  // Bracket: mean + k*stddev grows past any sub-1 quantile quickly.
+  double lo = 0.0;
+  double hi = a + 10.0 * std::sqrt(a) + 10.0;
+  while (RegularizedGammaP(a, hi) < prob) {
+    hi *= 2.0;
+    GCON_CHECK_LT(hi, 1e18) << "quantile bracket blew up";
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (RegularizedGammaP(a, mid) >= prob) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return hi;
+}
+
+double ComputeCsf(int d, double delta, int num_classes) {
+  GCON_CHECK_GT(d, 0);
+  GCON_CHECK_GT(delta, 0.0);
+  GCON_CHECK_LT(delta, 1.0);
+  GCON_CHECK_GE(num_classes, 1);
+  const double prob = 1.0 - delta / static_cast<double>(num_classes);
+  return GammaQuantile(static_cast<double>(d), prob);
+}
+
+}  // namespace gcon

@@ -1,0 +1,25 @@
+// Regularized incomplete gamma function and the Erlang quantile.
+//
+// Eq. (21) of the paper defines
+//   c_sf = min{ u > 0 : ∫_0^u x^{d-1} e^{-x} / (d-1)! dx >= 1 - δ/c },
+// i.e. the (1 - δ/c)-quantile of a Gamma(d, 1) (= Erlang-d) distribution.
+// We implement P(a, x) (regularized lower incomplete gamma) with the
+// classic series / continued-fraction split and invert it by bisection.
+#ifndef GCON_CORE_INCOMPLETE_GAMMA_H_
+#define GCON_CORE_INCOMPLETE_GAMMA_H_
+
+namespace gcon {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), a > 0,
+/// x >= 0. Accurate to ~1e-12 relative.
+double RegularizedGammaP(double a, double x);
+
+/// Quantile: smallest u with P(a, u) >= prob (prob in [0, 1)).
+double GammaQuantile(double a, double prob);
+
+/// c_sf of Eq. (21): the (1 - delta/c)-quantile of Gamma(d, 1).
+double ComputeCsf(int d, double delta, int num_classes);
+
+}  // namespace gcon
+
+#endif  // GCON_CORE_INCOMPLETE_GAMMA_H_

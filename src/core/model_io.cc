@@ -1,0 +1,131 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+#include "linalg/ops.h"
+#include "nn/mlp_io.h"
+#include "propagation/appr.h"
+#include "propagation/transition.h"
+
+namespace gcon {
+
+Matrix GconArtifact::Infer(const Graph& graph) const {
+  Matrix encoded = encoder.HiddenRepresentation(graph.features(),
+                                                encoder.num_layers() - 1);
+  RowL2NormalizeInPlace(&encoded);
+  const CsrMatrix transition = BuildTransition(graph);
+  const double alpha_inf = alpha_inference >= 0.0 ? alpha_inference : alpha;
+
+  Matrix hop;
+  bool have_hop = false;
+  std::vector<Matrix> blocks;
+  blocks.reserve(steps.size());
+  for (int m : steps) {
+    if (m == 0) {
+      blocks.push_back(encoded);
+      continue;
+    }
+    if (!have_hop) {
+      hop = transition.Multiply(encoded);
+      ScaleInPlace(1.0 - alpha_inf, &hop);
+      AxpyInPlace(alpha_inf, encoded, &hop);
+      have_hop = true;
+    }
+    blocks.push_back(hop);
+  }
+  return MatMul(ConcatCols(blocks), theta);
+}
+
+GconArtifact MakeArtifact(const GconPrepared& prepared, const GconModel& model,
+                          double epsilon, double delta) {
+  GconArtifact artifact{model.theta,
+                        prepared.encoder_mlp,
+                        prepared.config.steps,
+                        prepared.config.alpha,
+                        prepared.config.alpha_inference,
+                        epsilon,
+                        delta,
+                        model.params};
+  return artifact;
+}
+
+void SaveModel(const GconArtifact& artifact, const std::string& path) {
+  std::ofstream out(path);
+  GCON_CHECK(out.good()) << "cannot open " << path << " for writing";
+  out << std::setprecision(17);
+  out << "gcon-model v1\n";
+  out << "alpha " << artifact.alpha << "\n";
+  out << "alpha_inference " << artifact.alpha_inference << "\n";
+  out << "epsilon " << artifact.epsilon << "\n";
+  out << "delta " << artifact.delta << "\n";
+  out << "beta " << artifact.params.beta << "\n";
+  out << "lambda_bar " << artifact.params.lambda_bar << "\n";
+  out << "lambda_prime " << artifact.params.lambda_prime << "\n";
+  out << "steps " << artifact.steps.size();
+  for (int m : artifact.steps) {
+    out << " " << m;
+  }
+  out << "\n";
+  out << "theta " << artifact.theta.rows() << " " << artifact.theta.cols()
+      << "\n";
+  for (std::size_t i = 0; i < artifact.theta.rows(); ++i) {
+    const double* row = artifact.theta.RowPtr(i);
+    for (std::size_t j = 0; j < artifact.theta.cols(); ++j) {
+      out << row[j] << (j + 1 == artifact.theta.cols() ? "" : " ");
+    }
+    out << "\n";
+  }
+  SaveMlp(artifact.encoder, &out);
+  GCON_CHECK(out.good()) << "write failure on " << path;
+}
+
+GconArtifact LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  GCON_CHECK(in.good()) << "cannot open " << path;
+  std::string line;
+  GCON_CHECK(static_cast<bool>(std::getline(in, line)));
+  GCON_CHECK_EQ(line, std::string("gcon-model v1")) << "bad magic: " << line;
+
+  auto read_kv = [&in](const char* key) {
+    std::string word;
+    double value = 0.0;
+    in >> word >> value;
+    GCON_CHECK_EQ(word, std::string(key)) << "expected " << key;
+    return value;
+  };
+  const double alpha = read_kv("alpha");
+  const double alpha_inference = read_kv("alpha_inference");
+  const double epsilon = read_kv("epsilon");
+  const double delta = read_kv("delta");
+  PrivacyParams params;
+  params.beta = read_kv("beta");
+  params.lambda_bar = read_kv("lambda_bar");
+  params.lambda_prime = read_kv("lambda_prime");
+
+  std::string word;
+  std::size_t step_count = 0;
+  in >> word >> step_count;
+  GCON_CHECK_EQ(word, std::string("steps"));
+  std::vector<int> steps(step_count);
+  for (auto& m : steps) {
+    in >> m;
+  }
+
+  std::size_t rows = 0, cols = 0;
+  in >> word >> rows >> cols;
+  GCON_CHECK_EQ(word, std::string("theta"));
+  Matrix theta(rows, cols);
+  for (std::size_t k = 0; k < theta.size(); ++k) {
+    GCON_CHECK(static_cast<bool>(in >> theta.data()[k])) << "truncated theta";
+  }
+
+  Mlp encoder = LoadMlp(&in);
+  return GconArtifact{std::move(theta), std::move(encoder), std::move(steps),
+                      alpha,            alpha_inference,    epsilon,
+                      delta,            params};
+}
+
+}  // namespace gcon

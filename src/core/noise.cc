@@ -1,0 +1,33 @@
+#include "core/noise.h"
+
+#include "common/check.h"
+
+namespace gcon {
+
+std::vector<double> SampleNoiseVector(int d, double beta, Rng* rng) {
+  GCON_CHECK_GT(d, 0);
+  GCON_CHECK_GT(beta, 0.0);
+  const double radius = rng->Erlang(d, beta);
+  std::vector<double> b = rng->SphereDirection(d);
+  for (double& x : b) {
+    x *= radius;
+  }
+  return b;
+}
+
+Matrix SampleNoiseMatrix(int d, int c, double beta, Rng* rng) {
+  GCON_CHECK_GT(d, 0);
+  GCON_CHECK_GT(c, 0);
+  Matrix b(static_cast<std::size_t>(d), static_cast<std::size_t>(c));
+  if (beta == 0.0) return b;  // zero-noise degenerate case (Ψ(Z) = 0)
+  for (int j = 0; j < c; ++j) {
+    const std::vector<double> column = SampleNoiseVector(d, beta, rng);
+    for (int i = 0; i < d; ++i) {
+      b(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          column[static_cast<std::size_t>(i)];
+    }
+  }
+  return b;
+}
+
+}  // namespace gcon

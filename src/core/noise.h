@@ -1,0 +1,26 @@
+// Objective-perturbation noise sampling (Algorithm 2 + Eq. (14)).
+//
+// Each column b_j of the noise matrix B (d x c) is drawn independently:
+// radius a ~ Erlang(shape d, rate β) (pdf x^{d-1} e^{-βx} β^d / (d-1)!),
+// direction uniform on the unit d-sphere. The density of b is then
+// proportional to exp(-β ||b||_2), which is exactly what Lemma 8's density
+// ratio argument requires.
+#ifndef GCON_CORE_NOISE_H_
+#define GCON_CORE_NOISE_H_
+
+#include "linalg/matrix.h"
+#include "rng/rng.h"
+
+namespace gcon {
+
+/// One column: d-dimensional vector with ||b|| ~ Erlang(d, beta) and
+/// uniform direction (Algorithm 2).
+std::vector<double> SampleNoiseVector(int d, double beta, Rng* rng);
+
+/// The full noise matrix B = (b_1 ... b_c), d x c, columns independent.
+/// beta = 0 (the zero_noise case) yields an all-zero matrix.
+Matrix SampleNoiseMatrix(int d, int c, double beta, Rng* rng);
+
+}  // namespace gcon
+
+#endif  // GCON_CORE_NOISE_H_

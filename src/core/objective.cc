@@ -1,0 +1,215 @@
+#include "core/objective.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/ops.h"
+#include "nn/optim.h"
+
+namespace gcon {
+
+PerturbedObjective::PerturbedObjective(const Matrix* z, const Matrix* y,
+                                       const ConvexLoss* loss,
+                                       double lambda_total,
+                                       const Matrix* noise)
+    : z_(z), y_(y), loss_(loss), lambda_total_(lambda_total), noise_(noise) {
+  GCON_CHECK_EQ(z_->rows(), y_->rows());
+  GCON_CHECK_EQ(noise_->rows(), z_->cols());
+  GCON_CHECK_EQ(noise_->cols(), y_->cols());
+  GCON_CHECK_GT(lambda_total_, 0.0);
+  GCON_CHECK_GT(z_->rows(), 0u);
+}
+
+double PerturbedObjective::Value(const Matrix& theta) const {
+  GCON_CHECK_EQ(theta.rows(), z_->cols());
+  GCON_CHECK_EQ(theta.cols(), y_->cols());
+  const Matrix scores = MatMul(*z_, theta);  // n1 x c
+  const double inv_n1 = 1.0 / static_cast<double>(z_->rows());
+  double loss_sum = 0.0;
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    const double* srow = scores.RowPtr(i);
+    const double* yrow = y_->RowPtr(i);
+    for (std::size_t j = 0; j < scores.cols(); ++j) {
+      loss_sum += loss_->Value(srow[j], yrow[j]);
+    }
+  }
+  const double frob = FrobeniusNorm(theta);
+  return inv_n1 * loss_sum + 0.5 * lambda_total_ * frob * frob +
+         inv_n1 * DotAll(*noise_, theta);
+}
+
+double PerturbedObjective::ValueAndGradient(const Matrix& theta,
+                                            Matrix* grad) const {
+  GCON_CHECK_EQ(theta.rows(), z_->cols());
+  GCON_CHECK_EQ(theta.cols(), y_->cols());
+  const Matrix scores = MatMul(*z_, theta);  // n1 x c
+  const double inv_n1 = 1.0 / static_cast<double>(z_->rows());
+  Matrix dscores(scores.rows(), scores.cols());
+  double loss_sum = 0.0;
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    const double* srow = scores.RowPtr(i);
+    const double* yrow = y_->RowPtr(i);
+    double* drow = dscores.RowPtr(i);
+    for (std::size_t j = 0; j < scores.cols(); ++j) {
+      loss_sum += loss_->Value(srow[j], yrow[j]);
+      drow[j] = loss_->D1(srow[j], yrow[j]);
+    }
+  }
+  // grad = (1/n1) Z^T dscores + Λ_total Θ + (1/n1) B.
+  *grad = MatMulTransA(*z_, dscores);
+  ScaleInPlace(inv_n1, grad);
+  AxpyInPlace(lambda_total_, theta, grad);
+  AxpyInPlace(inv_n1, *noise_, grad);
+
+  const double frob = FrobeniusNorm(theta);
+  return inv_n1 * loss_sum + 0.5 * lambda_total_ * frob * frob +
+         inv_n1 * DotAll(*noise_, theta);
+}
+
+MinimizeResult Minimize(const PerturbedObjective& objective,
+                        const MinimizeOptions& options) {
+  switch (options.minimizer) {
+    case Minimizer::kAdam:
+      return MinimizeAdam(objective, options);
+    case Minimizer::kLbfgs:
+      return MinimizeLbfgs(objective, options);
+    case Minimizer::kGradientDescent:
+      return MinimizeGradientDescent(objective, options);
+  }
+  return MinimizeAdam(objective, options);
+}
+
+MinimizeResult MinimizeAdam(const PerturbedObjective& objective,
+                            const MinimizeOptions& options) {
+  MinimizeResult result;
+  result.theta.Resize(objective.dim(), objective.num_classes());
+  Adam::Options adam_options;
+  adam_options.learning_rate = options.learning_rate;
+  Adam adam(adam_options);
+  const std::size_t slot = adam.Register(result.theta);
+  Matrix grad;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.objective_value = objective.ValueAndGradient(result.theta, &grad);
+    result.gradient_norm = FrobeniusNorm(grad);
+    result.iterations = iter + 1;
+    if (result.gradient_norm < options.gradient_tolerance) break;
+    adam.BeginStep();
+    adam.Step(slot, grad, &result.theta);
+  }
+  return result;
+}
+
+MinimizeResult MinimizeLbfgs(const PerturbedObjective& objective,
+                             const MinimizeOptions& options) {
+  constexpr int kHistory = 10;
+  MinimizeResult result;
+  result.theta.Resize(objective.dim(), objective.num_classes());
+  Matrix grad;
+  double value = objective.ValueAndGradient(result.theta, &grad);
+
+  // Curvature history: s_k = x_{k+1} - x_k, y_k = g_{k+1} - g_k.
+  std::vector<Matrix> s_hist, y_hist;
+  std::vector<double> rho_hist;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.objective_value = value;
+    result.gradient_norm = FrobeniusNorm(grad);
+    result.iterations = iter + 1;
+    if (result.gradient_norm < options.gradient_tolerance) break;
+
+    // Two-loop recursion: direction = -H_k * grad.
+    Matrix q = grad;
+    std::vector<double> alpha_coef(s_hist.size());
+    for (std::size_t i = s_hist.size(); i-- > 0;) {
+      alpha_coef[i] = rho_hist[i] * DotAll(s_hist[i], q);
+      AxpyInPlace(-alpha_coef[i], y_hist[i], &q);
+    }
+    if (!s_hist.empty()) {
+      // Initial Hessian scaling gamma = <s,y>/<y,y> of the latest pair.
+      const Matrix& s_last = s_hist.back();
+      const Matrix& y_last = y_hist.back();
+      const double gamma = DotAll(s_last, y_last) / DotAll(y_last, y_last);
+      ScaleInPlace(gamma, &q);
+    }
+    for (std::size_t i = 0; i < s_hist.size(); ++i) {
+      const double beta = rho_hist[i] * DotAll(y_hist[i], q);
+      AxpyInPlace(alpha_coef[i] - beta, s_hist[i], &q);
+    }
+    // q now approximates H*grad; descend along -q (safeguarded: fall back
+    // to steepest descent if the curvature estimate went bad).
+    if (DotAll(grad, q) <= 0.0) {
+      q = grad;
+    }
+
+    // Armijo backtracking on F(x - t q).
+    const double slope = DotAll(grad, q);
+    double step = 1.0;
+    Matrix trial;
+    for (int bt = 0; bt < 60; ++bt) {
+      trial = result.theta;
+      AxpyInPlace(-step, q, &trial);
+      if (objective.Value(trial) <= value - 1e-4 * step * slope) break;
+      step *= 0.5;
+    }
+
+    Matrix new_grad;
+    const double new_value = objective.ValueAndGradient(trial, &new_grad);
+    Matrix s_k = Sub(trial, result.theta);
+    Matrix y_k = Sub(new_grad, grad);
+    const double sy = DotAll(s_k, y_k);
+    if (sy > 1e-14) {  // keep the inverse-Hessian estimate positive definite
+      s_hist.push_back(std::move(s_k));
+      y_hist.push_back(std::move(y_k));
+      rho_hist.push_back(1.0 / sy);
+      if (static_cast<int>(s_hist.size()) > kHistory) {
+        s_hist.erase(s_hist.begin());
+        y_hist.erase(y_hist.begin());
+        rho_hist.erase(rho_hist.begin());
+      }
+    }
+    result.theta = std::move(trial);
+    grad = std::move(new_grad);
+    value = new_value;
+  }
+  result.objective_value = value;
+  result.gradient_norm = FrobeniusNorm(grad);
+  return result;
+}
+
+MinimizeResult MinimizeGradientDescent(const PerturbedObjective& objective,
+                                       const MinimizeOptions& options) {
+  MinimizeResult result;
+  result.theta.Resize(objective.dim(), objective.num_classes());
+  Matrix grad;
+  double value = objective.ValueAndGradient(result.theta, &grad);
+  double step = options.learning_rate;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.objective_value = value;
+    result.gradient_norm = FrobeniusNorm(grad);
+    result.iterations = iter + 1;
+    if (result.gradient_norm < options.gradient_tolerance) break;
+    // Backtracking (Armijo): shrink until sufficient decrease.
+    const double grad_sq = result.gradient_norm * result.gradient_norm;
+    double trial_step = step;
+    Matrix trial;
+    double trial_value = 0.0;
+    for (int bt = 0; bt < 60; ++bt) {
+      trial = result.theta;
+      AxpyInPlace(-trial_step, grad, &trial);
+      trial_value = objective.Value(trial);
+      if (trial_value <= value - 0.5 * trial_step * grad_sq) break;
+      trial_step *= 0.5;
+    }
+    result.theta = std::move(trial);
+    // Allow the step to grow back (adaptive): halved steps stay sticky
+    // otherwise and convergence stalls on well-conditioned problems.
+    step = trial_step * 2.0;
+    value = objective.ValueAndGradient(result.theta, &grad);
+  }
+  result.objective_value = value;
+  result.gradient_norm = FrobeniusNorm(grad);
+  return result;
+}
+
+}  // namespace gcon

@@ -1,0 +1,87 @@
+#include "core/theorem1.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/incomplete_gamma.h"
+
+namespace gcon {
+
+PrivacyParams ComputePrivacyParams(const PrivacyInputs& in,
+                                   const ConvexLoss& loss) {
+  GCON_CHECK_GT(in.epsilon, 0.0);
+  GCON_CHECK_GT(in.delta, 0.0);
+  GCON_CHECK_LT(in.delta, 1.0);
+  GCON_CHECK_GT(in.omega, 0.0);
+  GCON_CHECK_LT(in.omega, 1.0);
+  GCON_CHECK_GT(in.lambda, 0.0);
+  GCON_CHECK_GT(in.n1, 0);
+  GCON_CHECK_GT(in.num_classes, 0);
+  GCON_CHECK_GT(in.dim, 0);
+  GCON_CHECK_GE(in.psi_z, 0.0);
+  GCON_CHECK_EQ(in.num_classes, loss.num_classes());
+
+  constexpr double kXi = 1e-6;  // the ξ > 0 of Eq. (22)
+
+  PrivacyParams out;
+  out.c1 = loss.c1();
+  out.c2 = loss.c2();
+  out.c3 = loss.c3();
+
+  const double c = static_cast<double>(in.num_classes);
+  const double d = static_cast<double>(in.dim);
+  const double n1 = static_cast<double>(in.n1);
+  const double eps = in.epsilon;
+  const double omega_eps = in.omega * eps;
+  const double psi = in.psi_z;
+
+  if (psi <= 0.0) {
+    // Features are edge-independent; the mechanism degenerates to exact
+    // (non-noisy) release, which trivially satisfies any (ε, δ).
+    out.zero_noise = true;
+    out.lambda_bar = in.lambda;
+    out.lambda_prime = 0.0;
+    out.beta = 0.0;
+    out.c_sf = ComputeCsf(in.dim, in.delta, in.num_classes);
+    out.c_theta = 0.0;
+    out.eps_lambda = 0.0;
+    return out;
+  }
+
+  // Eq. (21).
+  out.c_sf = ComputeCsf(in.dim, in.delta, in.num_classes);
+
+  // Eq. (22): Λ̄ = max(Λ, c·c2·Ψ·c_sf / (n1·ω·ε) + ξ).
+  const double lambda_floor = c * out.c2 * psi * out.c_sf / (n1 * omega_eps);
+  out.lambda_bar = std::max(in.lambda, lambda_floor + kXi);
+
+  // Eq. (23): c_θ = (n1·ω·ε·c1 + c·c1·Ψ·c_sf) / (n1·ω·ε·Λ̄ - c·c2·Ψ·c_sf).
+  const double c_theta_num = n1 * omega_eps * out.c1 + c * out.c1 * psi * out.c_sf;
+  const double c_theta_den = n1 * omega_eps * out.lambda_bar -
+                             c * out.c2 * psi * out.c_sf;
+  GCON_CHECK_GT(c_theta_den, 0.0) << "Eq. (22) floor failed to hold";
+  out.c_theta = c_theta_num / c_theta_den;
+
+  // Eq. (24): ε_Λ = c·d·log(1 + (2c2 + c3·c_θ)·Ψ / (d·n1·Λ̄)).
+  const double jac_term = (2.0 * out.c2 + out.c3 * out.c_theta) * psi;
+  out.eps_lambda = c * d * std::log1p(jac_term / (d * n1 * out.lambda_bar));
+
+  // Eq. (17): Λ′ = 0 if ε_Λ <= (1-ω)ε, else shrink the Jacobian budget by
+  // adding quadratic regularization.
+  const double jac_budget = (1.0 - in.omega) * eps;
+  if (out.eps_lambda <= jac_budget) {
+    out.lambda_prime = 0.0;
+  } else {
+    out.lambda_prime =
+        std::max(0.0, c * jac_term / (n1 * jac_budget) - out.lambda_bar);
+  }
+
+  // Eq. (18): β = max(ε - ε_Λ, ω·ε) / (c·(c1 + c2·c_θ)·Ψ).
+  const double noise_budget = std::max(eps - out.eps_lambda, omega_eps);
+  out.beta = noise_budget / (c * (out.c1 + out.c2 * out.c_theta) * psi);
+  GCON_CHECK_GT(out.beta, 0.0);
+  return out;
+}
+
+}  // namespace gcon

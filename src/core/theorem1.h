@@ -1,0 +1,60 @@
+// Theorem 1 parameter chain (Eqs. (17)–(24)).
+//
+// Given the privacy budget (ε, δ), the budget allocator ω, the loss
+// derivative suprema (c1, c2, c3), the feature sensitivity Ψ(Z), and the
+// model dimensions, computes:
+//   c_sf  (Eq. 21)  Erlang tail quantile for the ‖θ_j‖ <= c_θ event,
+//   Λ̄    (Eq. 22)  effective regularization coefficient,
+//   c_θ   (Eq. 23)  bound on ‖θ_j‖_2 that holds except with prob. δ,
+//   ε_Λ   (Eq. 24)  privacy cost of the Jacobian-determinant ratio,
+//   Λ′    (Eq. 17)  extra quadratic perturbation coefficient,
+//   β     (Eq. 18)  Erlang rate of the linear perturbation noise B.
+//
+// Note on Eq. (22): the paper overloads Λ. We use the self-consistent
+// reading where Λ̄ = max(Λ, c·c2·Ψ·c_sf/(n1·ω·ε) + ξ) replaces Λ in the
+// training objective and in Eqs. (17)/(23)/(24); without this, c_θ's
+// denominator (Eq. 23) can be non-positive and Lemma 7 fails. ξ = 1e-6.
+#ifndef GCON_CORE_THEOREM1_H_
+#define GCON_CORE_THEOREM1_H_
+
+#include <vector>
+
+#include "core/convex_loss.h"
+
+namespace gcon {
+
+struct PrivacyInputs {
+  double epsilon = 1.0;   // total budget ε
+  double delta = 1e-5;    // failure probability δ
+  double omega = 0.9;     // budget divider ω ∈ (0, 1)
+  double lambda = 0.2;    // user-chosen regularization Λ
+  int n1 = 0;             // number of training rows
+  int num_classes = 0;    // c
+  int dim = 0;            // d = s * d1 (columns of Z)
+  double psi_z = 0.0;     // Ψ(Z) from Lemma 2
+};
+
+struct PrivacyParams {
+  double c1 = 0.0, c2 = 0.0, c3 = 0.0;  // Eq. (19)
+  double c_sf = 0.0;                    // Eq. (21)
+  double lambda_bar = 0.0;              // Eq. (22), used in the objective
+  double c_theta = 0.0;                 // Eq. (23)
+  double eps_lambda = 0.0;              // Eq. (24)
+  double lambda_prime = 0.0;            // Eq. (17)
+  double beta = 0.0;                    // Eq. (18)
+  /// True when Ψ(Z) = 0 (α = 1 or all steps 0): the features carry no edge
+  /// information, so no perturbation is needed at all.
+  bool zero_noise = false;
+
+  /// Total quadratic coefficient Λ̄ + Λ′ used by the perturbed objective.
+  double lambda_total() const { return lambda_bar + lambda_prime; }
+};
+
+/// Runs the full Eq. (17)–(24) chain. Aborts on invalid inputs
+/// (ε <= 0, ω outside (0,1), n1 <= 0, ...).
+PrivacyParams ComputePrivacyParams(const PrivacyInputs& in,
+                                   const ConvexLoss& loss);
+
+}  // namespace gcon
+
+#endif  // GCON_CORE_THEOREM1_H_

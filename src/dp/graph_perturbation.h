@@ -1,0 +1,53 @@
+// Edge-DP graph-topology perturbation mechanisms (the DPGCN baseline).
+//
+// Two mechanisms from the LinkTeller paper (Wu et al., IEEE S&P 2022):
+//
+//  * EdgeRand — randomized response on every node pair: keep each bit with
+//    probability e^eps/(1+e^eps). eps-edge-DP. The expected number of
+//    injected edges is (1/(1+e^eps)) * n(n-1)/2, which explodes for small
+//    eps / large n; callers should prefer LapGraph beyond small graphs.
+//
+//  * LapGraph — (1) spend eps1 = split*eps on a noisy edge count
+//    m~ = |E| + Lap(1/eps1); (2) add Lap(1/eps2) to every cell of the upper
+//    triangle and keep the m~ largest cells as edges.
+//
+// Both are *simulated exactly in distribution* without materializing the
+// O(n^2) noisy matrix: for a threshold t, a true edge survives with
+// p1 = P(1 + Lap > t) and a non-edge turns on with p0 = P(Lap > t), all
+// cells independent — so the survivor counts are Binomial and the surviving
+// sets are uniform. For LapGraph we pick t such that the expected kept-cell
+// count equals m~ (the exact mechanism uses the m~-th order statistic;
+// the difference is an O(sqrt(n)) fluctuation in the kept count with no
+// effect on per-cell marginals, and utility is indistinguishable).
+#ifndef GCON_DP_GRAPH_PERTURBATION_H_
+#define GCON_DP_GRAPH_PERTURBATION_H_
+
+#include "graph/graph.h"
+#include "rng/rng.h"
+
+namespace gcon {
+
+/// EdgeRand randomized response. Aborts if the expected output edge count
+/// exceeds `max_edges` (guard against accidental O(n^2) graphs).
+Graph EdgeRand(const Graph& graph, double epsilon, Rng* rng,
+               std::size_t max_edges = 20'000'000);
+
+/// LapGraph with budget split `count_split` (fraction of eps spent on the
+/// edge count; LinkTeller uses 0.01).
+Graph LapGraph(const Graph& graph, double epsilon, Rng* rng,
+               double count_split = 0.01);
+
+namespace internal {
+
+/// P(Lap(1/eps) + shift > t) — exposed for tests.
+double LaplaceTail(double shift, double eps, double t);
+
+/// Solves for the threshold t where the expected number of kept cells is
+/// `target` (monotone decreasing in t). Exposed for tests.
+double SolveLapGraphThreshold(std::size_t num_edges, std::size_t num_pairs,
+                              double eps2, double target);
+
+}  // namespace internal
+}  // namespace gcon
+
+#endif  // GCON_DP_GRAPH_PERTURBATION_H_

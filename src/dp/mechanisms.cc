@@ -1,0 +1,59 @@
+#include "dp/mechanisms.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gcon {
+
+void LaplaceMechanismInPlace(Matrix* m, double l1_sensitivity, double epsilon,
+                             Rng* rng) {
+  GCON_CHECK_GT(epsilon, 0.0);
+  GCON_CHECK_GT(l1_sensitivity, 0.0);
+  const double scale = l1_sensitivity / epsilon;
+  for (std::size_t k = 0; k < m->size(); ++k) {
+    m->data()[k] += rng->Laplace(scale);
+  }
+}
+
+void GaussianNoiseInPlace(Matrix* m, double sigma, Rng* rng) {
+  GCON_CHECK_GE(sigma, 0.0);
+  if (sigma == 0.0) return;
+  for (std::size_t k = 0; k < m->size(); ++k) {
+    m->data()[k] += rng->Normal(0.0, sigma);
+  }
+}
+
+double GaussianSigma(double l2_sensitivity, double epsilon, double delta) {
+  GCON_CHECK_GT(epsilon, 0.0);
+  GCON_CHECK_GT(delta, 0.0);
+  GCON_CHECK_LT(delta, 1.0);
+  return l2_sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+}
+
+double ZcdpRhoFromEpsilonDelta(double epsilon, double delta) {
+  GCON_CHECK_GT(epsilon, 0.0);
+  GCON_CHECK_GT(delta, 0.0);
+  GCON_CHECK_LT(delta, 1.0);
+  const double log_inv_delta = std::log(1.0 / delta);
+  const double root = std::sqrt(log_inv_delta + epsilon) -
+                      std::sqrt(log_inv_delta);
+  return root * root;
+}
+
+double ZcdpEpsilon(double rho, double delta) {
+  GCON_CHECK_GE(rho, 0.0);
+  GCON_CHECK_GT(delta, 0.0);
+  GCON_CHECK_LT(delta, 1.0);
+  return rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta));
+}
+
+double ZcdpSigmaForComposition(int count, double l2_sensitivity,
+                               double epsilon, double delta) {
+  GCON_CHECK_GT(count, 0);
+  const double rho = ZcdpRhoFromEpsilonDelta(epsilon, delta);
+  GCON_CHECK_GT(rho, 0.0);
+  return l2_sensitivity * std::sqrt(static_cast<double>(count) / (2.0 * rho));
+}
+
+}  // namespace gcon

@@ -1,0 +1,48 @@
+// Scalar/matrix differential-privacy mechanisms.
+//
+// These primitives back the baseline methods (GAP/ProGAP aggregation
+// perturbation, LPGNet degree-vector perturbation, DPGCN topology
+// perturbation, DP-SGD gradient perturbation). GCON itself does NOT use
+// them — its only randomness is the objective-perturbation noise matrix B
+// (core/noise.h).
+#ifndef GCON_DP_MECHANISMS_H_
+#define GCON_DP_MECHANISMS_H_
+
+#include "linalg/matrix.h"
+#include "rng/rng.h"
+
+namespace gcon {
+
+/// Adds Laplace(sensitivity/epsilon) noise to every element of m.
+/// Satisfies epsilon-DP for L1 sensitivity `l1_sensitivity`.
+void LaplaceMechanismInPlace(Matrix* m, double l1_sensitivity, double epsilon,
+                             Rng* rng);
+
+/// Adds N(0, sigma^2) noise to every element of m.
+void GaussianNoiseInPlace(Matrix* m, double sigma, Rng* rng);
+
+/// Classic Gaussian mechanism calibration: sigma so that releasing a value
+/// of L2 sensitivity `l2_sensitivity` is (epsilon, delta)-DP
+/// (sigma = sensitivity * sqrt(2 ln(1.25/delta)) / epsilon; requires
+/// epsilon <= 1 for the classic bound, but the formula is the standard
+/// practical choice beyond that too).
+double GaussianSigma(double l2_sensitivity, double epsilon, double delta);
+
+/// zero-Concentrated DP helpers (Bun & Steinke 2016):
+///   rho for one Gaussian release of L2 sensitivity s with stddev sigma is
+///   s^2 / (2 sigma^2); rho composes additively; (epsilon, delta)-DP holds
+///   with epsilon = rho + 2 sqrt(rho ln(1/delta)).
+/// Converts a target (epsilon, delta) to the largest admissible rho.
+double ZcdpRhoFromEpsilonDelta(double epsilon, double delta);
+
+/// epsilon(delta) for a given rho (inverse of the above, for reporting).
+double ZcdpEpsilon(double rho, double delta);
+
+/// Sigma for `count` Gaussian releases, each of L2 sensitivity
+/// `l2_sensitivity`, so the composition is (epsilon, delta)-DP via zCDP.
+double ZcdpSigmaForComposition(int count, double l2_sensitivity,
+                               double epsilon, double delta);
+
+}  // namespace gcon
+
+#endif  // GCON_DP_MECHANISMS_H_

@@ -1,0 +1,98 @@
+#include "dp/rdp_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gcon {
+namespace {
+
+// log(n choose k) via lgamma.
+double LogBinom(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+// Numerically stable log(sum(exp(terms))).
+double LogSumExp(const std::vector<double>& terms) {
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (double t : terms) max_term = std::max(max_term, t);
+  if (!std::isfinite(max_term)) return max_term;
+  double acc = 0.0;
+  for (double t : terms) acc += std::exp(t - max_term);
+  return max_term + std::log(acc);
+}
+
+}  // namespace
+
+double GaussianRdp(double alpha, double sigma) {
+  GCON_CHECK_GT(alpha, 1.0);
+  GCON_CHECK_GT(sigma, 0.0);
+  return alpha / (2.0 * sigma * sigma);
+}
+
+double SubsampledGaussianRdp(int alpha, double q, double sigma) {
+  GCON_CHECK_GE(alpha, 2);
+  GCON_CHECK_GT(sigma, 0.0);
+  GCON_CHECK_GE(q, 0.0);
+  GCON_CHECK_LE(q, 1.0);
+  if (q == 0.0) return 0.0;
+  if (q == 1.0) return GaussianRdp(alpha, sigma);
+  // E_{k ~ Binom(alpha, q)} exp(k(k-1) / (2 sigma^2)), in log space.
+  std::vector<double> terms;
+  terms.reserve(static_cast<std::size_t>(alpha) + 1);
+  const double log_q = std::log(q);
+  const double log_1mq = std::log1p(-q);
+  for (int k = 0; k <= alpha; ++k) {
+    const double term = LogBinom(alpha, k) + k * log_q +
+                        (alpha - k) * log_1mq +
+                        (static_cast<double>(k) * (k - 1)) /
+                            (2.0 * sigma * sigma);
+    terms.push_back(term);
+  }
+  return LogSumExp(terms) / (alpha - 1.0);
+}
+
+double DpSgdEpsilon(double sigma, double q, int steps, double delta,
+                    int max_order) {
+  GCON_CHECK_GT(steps, 0);
+  GCON_CHECK_GT(delta, 0.0);
+  double best = std::numeric_limits<double>::infinity();
+  const double log_inv_delta = std::log(1.0 / delta);
+  for (int alpha = 2; alpha <= max_order; ++alpha) {
+    const double rdp = steps * SubsampledGaussianRdp(alpha, q, sigma);
+    const double eps = rdp + log_inv_delta / (alpha - 1.0);
+    best = std::min(best, eps);
+  }
+  return best;
+}
+
+double DpSgdSigma(double epsilon, double delta, double q, int steps,
+                  int max_order) {
+  GCON_CHECK_GT(epsilon, 0.0);
+  double lo = 1e-2;
+  double hi = 1e-2;
+  // Grow hi until it satisfies the budget.
+  while (DpSgdEpsilon(hi, q, steps, delta, max_order) > epsilon) {
+    hi *= 2.0;
+    GCON_CHECK_LT(hi, 1e9) << "cannot satisfy epsilon=" << epsilon;
+  }
+  // lo should violate the budget; shrink if necessary (very loose budgets).
+  while (DpSgdEpsilon(lo, q, steps, delta, max_order) < epsilon && lo > 1e-9) {
+    lo *= 0.5;
+  }
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (DpSgdEpsilon(mid, q, steps, delta, max_order) > epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace gcon

@@ -1,0 +1,40 @@
+// Rényi-DP accountant for the (subsampled) Gaussian mechanism.
+//
+// Implements, from scratch:
+//   * RDP of the Gaussian mechanism: eps_alpha = alpha / (2 sigma^2)
+//     (noise multiplier sigma, sensitivity 1);
+//   * RDP of the Poisson-subsampled Gaussian mechanism at integer orders
+//     (Mironov, Talwar, Zhang 2019, upper bound via binomial expansion);
+//   * additive composition over steps;
+//   * conversion to (epsilon, delta)-DP:
+//     eps = min_alpha [ eps_alpha + log(1/delta) / (alpha - 1) ].
+// Used to calibrate the DP-SGD baseline's noise multiplier.
+#ifndef GCON_DP_RDP_ACCOUNTANT_H_
+#define GCON_DP_RDP_ACCOUNTANT_H_
+
+namespace gcon {
+
+/// RDP order-alpha cost of one Gaussian mechanism invocation with noise
+/// multiplier sigma (sensitivity 1).
+double GaussianRdp(double alpha, double sigma);
+
+/// RDP order-alpha (integer alpha >= 2) upper bound of one Poisson-subsampled
+/// Gaussian invocation with sampling rate q and noise multiplier sigma.
+/// q = 1 reduces to GaussianRdp.
+double SubsampledGaussianRdp(int alpha, double q, double sigma);
+
+/// (epsilon) after `steps` compositions of the subsampled Gaussian with
+/// rate q and multiplier sigma, at failure probability delta. Minimizes over
+/// integer orders 2..max_order.
+double DpSgdEpsilon(double sigma, double q, int steps, double delta,
+                    int max_order = 64);
+
+/// Smallest noise multiplier sigma such that `steps` compositions stay
+/// within (epsilon, delta)-DP. Binary search over sigma; aborts if even a
+/// huge sigma cannot satisfy the target.
+double DpSgdSigma(double epsilon, double delta, double q, int steps,
+                  int max_order = 64);
+
+}  // namespace gcon
+
+#endif  // GCON_DP_RDP_ACCOUNTANT_H_

@@ -1,0 +1,104 @@
+#include "eval/attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/loss.h"
+
+namespace gcon {
+namespace {
+
+double CosineSimilarity(const double* a, const double* b, std::size_t n) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    dot += a[k] * b[k];
+    na += a[k] * a[k];
+    nb += b[k] * b[k];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+}  // namespace
+
+double RankingAuc(const std::vector<double>& positive_scores,
+                  const std::vector<double>& negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) return 0.5;
+  // Rank-sum (Mann-Whitney) formulation with midranks for ties:
+  // AUC = (R_pos - n_pos(n_pos+1)/2) / (n_pos * n_neg).
+  struct Item {
+    double score;
+    bool positive;
+  };
+  std::vector<Item> items;
+  items.reserve(positive_scores.size() + negative_scores.size());
+  for (double s : positive_scores) items.push_back({s, true});
+  for (double s : negative_scores) items.push_back({s, false});
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.score < b.score; });
+  double rank_sum_positive = 0.0;
+  std::size_t i = 0;
+  while (i < items.size()) {
+    std::size_t j = i;
+    while (j < items.size() && items[j].score == items[i].score) ++j;
+    // Midrank of the tie group [i, j): ranks are 1-based.
+    const double midrank = 0.5 * (static_cast<double>(i + 1) +
+                                  static_cast<double>(j));
+    for (std::size_t k = i; k < j; ++k) {
+      if (items[k].positive) rank_sum_positive += midrank;
+    }
+    i = j;
+  }
+  const double np = static_cast<double>(positive_scores.size());
+  const double nn = static_cast<double>(negative_scores.size());
+  return (rank_sum_positive - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+AttackResult PosteriorSimilarityAttack(const Matrix& logits,
+                                       const Graph& graph, int max_pairs,
+                                       Rng* rng) {
+  GCON_CHECK_EQ(logits.rows(), static_cast<std::size_t>(graph.num_nodes()));
+  const Matrix posteriors = Softmax(logits);
+  const std::size_t c = posteriors.cols();
+
+  // Positive pairs: sample true edges.
+  const auto edges = graph.EdgeList();
+  std::vector<double> positive;
+  {
+    const int take =
+        std::min<int>(max_pairs, static_cast<int>(edges.size()));
+    const std::vector<int> chosen =
+        rng->SampleWithoutReplacement(static_cast<int>(edges.size()), take);
+    positive.reserve(static_cast<std::size_t>(take));
+    for (int idx : chosen) {
+      const auto& [u, v] = edges[static_cast<std::size_t>(idx)];
+      positive.push_back(CosineSimilarity(
+          posteriors.RowPtr(static_cast<std::size_t>(u)),
+          posteriors.RowPtr(static_cast<std::size_t>(v)), c));
+    }
+  }
+
+  // Negative pairs: random non-edges.
+  std::vector<double> negative;
+  negative.reserve(positive.size());
+  const std::uint64_t n = static_cast<std::uint64_t>(graph.num_nodes());
+  int attempts = 0;
+  while (negative.size() < positive.size() && attempts < 100 * max_pairs) {
+    ++attempts;
+    const int u = static_cast<int>(rng->UniformInt(n));
+    const int v = static_cast<int>(rng->UniformInt(n));
+    if (u == v || graph.HasEdge(u, v)) continue;
+    negative.push_back(CosineSimilarity(
+        posteriors.RowPtr(static_cast<std::size_t>(u)),
+        posteriors.RowPtr(static_cast<std::size_t>(v)), c));
+  }
+
+  AttackResult result;
+  result.num_positive = static_cast<int>(positive.size());
+  result.num_negative = static_cast<int>(negative.size());
+  result.auc = RankingAuc(positive, negative);
+  return result;
+}
+
+}  // namespace gcon

@@ -1,0 +1,39 @@
+// Edge-inference attack (the threat the paper defends against, §I).
+//
+// Posterior-similarity attack in the style of He et al. (USENIX Security
+// 2021): the adversary queries the released model for class posteriors and
+// scores node pairs by posterior similarity — connected nodes in a
+// homophilous graph tend to receive more similar posteriors. The attack's
+// AUC over (true edges vs. random non-edges) quantifies empirical edge
+// leakage: ~0.5 means the model reveals nothing about edges.
+#ifndef GCON_EVAL_ATTACK_H_
+#define GCON_EVAL_ATTACK_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "rng/rng.h"
+
+namespace gcon {
+
+struct AttackResult {
+  double auc = 0.0;      // ranking AUC of edge vs non-edge scores
+  int num_positive = 0;  // true edges scored
+  int num_negative = 0;  // non-edges scored
+};
+
+/// Runs the posterior-similarity attack against `logits` (model outputs for
+/// every node). Samples up to `max_pairs` true edges and as many random
+/// non-edges; similarity is cosine between softmax posteriors.
+AttackResult PosteriorSimilarityAttack(const Matrix& logits,
+                                       const Graph& graph, int max_pairs,
+                                       Rng* rng);
+
+/// Ranking AUC of positives vs negatives (ties count 1/2).
+double RankingAuc(const std::vector<double>& positive_scores,
+                  const std::vector<double>& negative_scores);
+
+}  // namespace gcon
+
+#endif  // GCON_EVAL_ATTACK_H_

@@ -1,0 +1,100 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace gcon {
+
+RunStats Summarize(const std::vector<double>& values) {
+  RunStats stats;
+  stats.count = static_cast<int>(values.size());
+  if (values.empty()) return stats;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) {
+      const double d = v - stats.mean;
+      sq += d * d;
+    }
+    stats.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return stats;
+}
+
+SeriesTable::SeriesTable(std::string title, std::string x_name,
+                         std::vector<std::string> series_names)
+    : title_(std::move(title)),
+      x_name_(std::move(x_name)),
+      series_names_(std::move(series_names)) {}
+
+void SeriesTable::AddRow(const std::string& x,
+                         const std::vector<double>& values,
+                         const std::vector<double>& stddevs) {
+  GCON_CHECK_EQ(values.size(), series_names_.size());
+  if (!stddevs.empty()) {
+    GCON_CHECK_EQ(stddevs.size(), series_names_.size());
+  }
+  rows_.push_back(Row{x, values, stddevs});
+}
+
+void SeriesTable::PrintCsv(std::ostream& out) const {
+  out << "# " << title_ << "\n";
+  out << x_name_;
+  for (const auto& name : series_names_) {
+    out << "," << name << "," << name << "_std";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    out << row.x;
+    for (std::size_t j = 0; j < row.values.size(); ++j) {
+      out << ",";
+      if (!std::isnan(row.values[j])) out << row.values[j];
+      out << ",";
+      if (!row.stddevs.empty() && !std::isnan(row.stddevs[j])) {
+        out << row.stddevs[j];
+      }
+    }
+    out << "\n";
+  }
+  out.flush();
+}
+
+void SeriesTable::Print(std::ostream& out) const {
+  const int x_width = 10;
+  const int cell_width = 16;
+  out << "=== " << title_ << " ===\n";
+  out << std::left << std::setw(x_width) << x_name_;
+  for (const auto& name : series_names_) {
+    out << std::setw(cell_width) << name;
+  }
+  out << "\n";
+  out << std::string(
+             static_cast<std::size_t>(x_width) +
+                 series_names_.size() * static_cast<std::size_t>(cell_width),
+             '-')
+      << "\n";
+  for (const auto& row : rows_) {
+    out << std::left << std::setw(x_width) << row.x;
+    for (std::size_t j = 0; j < row.values.size(); ++j) {
+      std::ostringstream cell;
+      if (std::isnan(row.values[j])) {
+        cell << "-";
+      } else {
+        cell << std::fixed << std::setprecision(4) << row.values[j];
+        if (!row.stddevs.empty() && !std::isnan(row.stddevs[j])) {
+          cell << "±" << std::setprecision(3) << row.stddevs[j];
+        }
+      }
+      out << std::setw(cell_width) << cell.str();
+    }
+    out << "\n";
+  }
+  out.flush();
+}
+
+}  // namespace gcon

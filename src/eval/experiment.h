@@ -1,0 +1,54 @@
+// Experiment-harness utilities: repeated-run statistics and the ASCII
+// series tables the bench binaries print (one row per x-value, one column
+// per method/series — the same axes as the paper's figures).
+#ifndef GCON_EVAL_EXPERIMENT_H_
+#define GCON_EVAL_EXPERIMENT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gcon {
+
+struct RunStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int count = 0;
+};
+
+/// Mean and sample standard deviation (n-1 denominator; 0 for n < 2).
+RunStats Summarize(const std::vector<double>& values);
+
+/// Fixed-width table keyed by an x column, used to print figure series.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_name,
+              std::vector<std::string> series_names);
+
+  /// Adds a row; `values` must have one entry per series (NaN allowed for
+  /// "not run", printed as "-"). Optional per-cell stddevs.
+  void AddRow(const std::string& x, const std::vector<double>& values,
+              const std::vector<double>& stddevs = {});
+
+  void Print(std::ostream& out) const;
+
+  /// Machine-readable CSV (header row, mean and stddev columns per series);
+  /// bench binaries emit this next to the table when GCON_BENCH_CSV is set,
+  /// so plots can be regenerated without scraping the aligned output.
+  void PrintCsv(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  std::string x_name_;
+  std::vector<std::string> series_names_;
+  struct Row {
+    std::string x;
+    std::vector<double> values;
+    std::vector<double> stddevs;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_EVAL_EXPERIMENT_H_

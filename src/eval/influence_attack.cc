@@ -1,0 +1,97 @@
+#include "eval/influence_attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "eval/attack.h"
+
+namespace gcon {
+namespace {
+
+double RowDistance(const Matrix& a, const Matrix& b, int row) {
+  const double* ra = a.RowPtr(static_cast<std::size_t>(row));
+  const double* rb = b.RowPtr(static_cast<std::size_t>(row));
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    const double d = ra[j] - rb[j];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+InfluenceAttackResult InfluenceAttack(
+    const std::function<Matrix(const Matrix&)>& forward,
+    const Matrix& features, const Graph& graph, int max_pairs, double delta,
+    Rng* rng) {
+  GCON_CHECK_GT(delta, 0.0);
+  GCON_CHECK_EQ(features.rows(), static_cast<std::size_t>(graph.num_nodes()));
+
+  // Sample candidate pairs: true edges + random non-edges.
+  std::vector<std::pair<int, int>> positives;  // (observer u, perturbed v)
+  {
+    const auto edges = graph.EdgeList();
+    const int take = std::min<int>(max_pairs, static_cast<int>(edges.size()));
+    for (int idx : rng->SampleWithoutReplacement(
+             static_cast<int>(edges.size()), take)) {
+      positives.push_back(edges[static_cast<std::size_t>(idx)]);
+    }
+  }
+  std::vector<std::pair<int, int>> negatives;
+  {
+    const std::uint64_t n = static_cast<std::uint64_t>(graph.num_nodes());
+    int attempts = 0;
+    while (negatives.size() < positives.size() &&
+           attempts < 100 * max_pairs) {
+      ++attempts;
+      const int u = static_cast<int>(rng->UniformInt(n));
+      const int v = static_cast<int>(rng->UniformInt(n));
+      if (u == v || graph.HasEdge(u, v)) continue;
+      negatives.emplace_back(u, v);
+    }
+  }
+
+  // Group pairs by the perturbed node so each node costs one query.
+  std::map<int, std::vector<std::pair<int, bool>>> by_target;  // v -> (u, pos)
+  for (const auto& [u, v] : positives) by_target[v].emplace_back(u, true);
+  for (const auto& [u, v] : negatives) by_target[v].emplace_back(u, false);
+
+  const Matrix baseline = forward(features);
+  std::vector<double> pos_scores, neg_scores;
+  pos_scores.reserve(positives.size());
+  neg_scores.reserve(negatives.size());
+  Matrix perturbed = features;
+  for (const auto& [v, observers] : by_target) {
+    // Scale v's features by (1 + delta), query, restore.
+    double* row = perturbed.RowPtr(static_cast<std::size_t>(v));
+    const double* orig = features.RowPtr(static_cast<std::size_t>(v));
+    bool nonzero = false;
+    for (std::size_t j = 0; j < features.cols(); ++j) {
+      row[j] = orig[j] * (1.0 + delta);
+      nonzero = nonzero || orig[j] != 0.0;
+    }
+    if (!nonzero) {
+      // All-zero feature row cannot be rescaled; nudge uniformly instead.
+      for (std::size_t j = 0; j < features.cols(); ++j) row[j] = delta;
+    }
+    const Matrix response = forward(perturbed);
+    for (const auto& [u, positive] : observers) {
+      const double influence = RowDistance(response, baseline, u);
+      (positive ? pos_scores : neg_scores).push_back(influence);
+    }
+    for (std::size_t j = 0; j < features.cols(); ++j) row[j] = orig[j];
+  }
+
+  InfluenceAttackResult result;
+  result.num_positive = static_cast<int>(pos_scores.size());
+  result.num_negative = static_cast<int>(neg_scores.size());
+  result.auc = RankingAuc(pos_scores, neg_scores);
+  return result;
+}
+
+}  // namespace gcon

@@ -1,0 +1,44 @@
+// LinkTeller-style influence attack (Wu et al., IEEE S&P 2022 — the
+// paper's reference [9] and the origin of its DPGCN baseline).
+//
+// Threat model: the adversary can query an inference API for predictions of
+// arbitrary nodes AND can perturb node features (e.g. controls some user
+// profiles). For a candidate pair (u, v) it rescales v's features by
+// (1 + delta), re-queries, and measures how much u's prediction moved —
+// the "influence". Under graph-propagated inference, influence flows only
+// along paths from v to u, so ranking pairs by influence recovers edges.
+//
+// This is complementary to the posterior-similarity attack (attack.h): that
+// one needs only passive observation but is confounded by homophily; this
+// one needs feature control but isolates the model's structural leakage
+// exactly (an edge-free model has influence identically zero off-diagonal).
+#ifndef GCON_EVAL_INFLUENCE_ATTACK_H_
+#define GCON_EVAL_INFLUENCE_ATTACK_H_
+
+#include <functional>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "rng/rng.h"
+
+namespace gcon {
+
+struct InfluenceAttackResult {
+  double auc = 0.0;      ///< edge vs non-edge ranking AUC of influence
+  int num_positive = 0;  ///< edge pairs evaluated
+  int num_negative = 0;  ///< non-edge pairs evaluated
+};
+
+/// `forward` maps a (possibly perturbed) full feature matrix to all-node
+/// logits — the attacker's query interface. Samples up to `max_pairs` true
+/// edges and as many random non-edges; influence of v on u is the L2
+/// change of u's logits when v's features are scaled by (1 + delta).
+/// Queries are batched per perturbed node.
+InfluenceAttackResult InfluenceAttack(
+    const std::function<Matrix(const Matrix&)>& forward,
+    const Matrix& features, const Graph& graph, int max_pairs, double delta,
+    Rng* rng);
+
+}  // namespace gcon
+
+#endif  // GCON_EVAL_INFLUENCE_ATTACK_H_

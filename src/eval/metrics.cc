@@ -1,0 +1,86 @@
+#include "eval/metrics.h"
+
+#include "common/check.h"
+#include "linalg/ops.h"
+
+namespace gcon {
+namespace {
+
+struct ClassCounts {
+  std::vector<double> tp;
+  std::vector<double> fp;
+  std::vector<double> fn;
+};
+
+ClassCounts CountPerClass(const std::vector<int>& pred,
+                          const std::vector<int>& labels,
+                          const std::vector<int>& idx, int num_classes) {
+  ClassCounts counts;
+  counts.tp.assign(static_cast<std::size_t>(num_classes), 0.0);
+  counts.fp.assign(static_cast<std::size_t>(num_classes), 0.0);
+  counts.fn.assign(static_cast<std::size_t>(num_classes), 0.0);
+  for (int node : idx) {
+    const std::size_t i = static_cast<std::size_t>(node);
+    GCON_CHECK_LT(i, pred.size());
+    GCON_CHECK_LT(i, labels.size());
+    const int p = pred[i];
+    const int y = labels[i];
+    GCON_CHECK_GE(p, 0);
+    GCON_CHECK_LT(p, num_classes);
+    if (p == y) {
+      counts.tp[static_cast<std::size_t>(p)] += 1.0;
+    } else {
+      counts.fp[static_cast<std::size_t>(p)] += 1.0;
+      counts.fn[static_cast<std::size_t>(y)] += 1.0;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<int> ArgmaxPredictions(const Matrix& logits) {
+  std::vector<int> pred(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    pred[i] = static_cast<int>(RowArgMax(logits, i));
+  }
+  return pred;
+}
+
+double MicroF1(const std::vector<int>& pred, const std::vector<int>& labels,
+               const std::vector<int>& idx, int num_classes) {
+  if (idx.empty()) return 0.0;
+  const ClassCounts counts = CountPerClass(pred, labels, idx, num_classes);
+  double tp = 0.0, fp = 0.0, fn = 0.0;
+  for (int c = 0; c < num_classes; ++c) {
+    tp += counts.tp[static_cast<std::size_t>(c)];
+    fp += counts.fp[static_cast<std::size_t>(c)];
+    fn += counts.fn[static_cast<std::size_t>(c)];
+  }
+  const double denom = 2.0 * tp + fp + fn;
+  return denom == 0.0 ? 0.0 : 2.0 * tp / denom;
+}
+
+double MacroF1(const std::vector<int>& pred, const std::vector<int>& labels,
+               const std::vector<int>& idx, int num_classes) {
+  if (idx.empty()) return 0.0;
+  const ClassCounts counts = CountPerClass(pred, labels, idx, num_classes);
+  double total = 0.0;
+  int active = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    const double tp = counts.tp[static_cast<std::size_t>(c)];
+    const double fp = counts.fp[static_cast<std::size_t>(c)];
+    const double fn = counts.fn[static_cast<std::size_t>(c)];
+    if (tp + fp + fn == 0.0) continue;  // class absent everywhere
+    total += 2.0 * tp / (2.0 * tp + fp + fn);
+    ++active;
+  }
+  return active == 0 ? 0.0 : total / active;
+}
+
+double MicroF1FromLogits(const Matrix& logits, const std::vector<int>& labels,
+                         const std::vector<int>& idx, int num_classes) {
+  return MicroF1(ArgmaxPredictions(logits), labels, idx, num_classes);
+}
+
+}  // namespace gcon

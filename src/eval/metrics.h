@@ -1,0 +1,34 @@
+// Classification metrics.
+//
+// The paper reports micro-averaged F1. For single-label multi-class
+// prediction micro-F1 equals accuracy, but both micro and macro are
+// implemented in full generality (per-class TP/FP/FN aggregation) so the
+// tests can assert the identity rather than assume it.
+#ifndef GCON_EVAL_METRICS_H_
+#define GCON_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+/// Row-wise argmax of logits.
+std::vector<int> ArgmaxPredictions(const Matrix& logits);
+
+/// Micro-averaged F1 of `pred` vs `labels` over the nodes in `idx`.
+double MicroF1(const std::vector<int>& pred, const std::vector<int>& labels,
+               const std::vector<int>& idx, int num_classes);
+
+/// Macro-averaged F1 (unweighted mean of per-class F1; classes absent from
+/// both predictions and ground truth are skipped).
+double MacroF1(const std::vector<int>& pred, const std::vector<int>& labels,
+               const std::vector<int>& idx, int num_classes);
+
+/// Convenience: micro-F1 straight from logits.
+double MicroF1FromLogits(const Matrix& logits, const std::vector<int>& labels,
+                         const std::vector<int>& idx, int num_classes);
+
+}  // namespace gcon
+
+#endif  // GCON_EVAL_METRICS_H_

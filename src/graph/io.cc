@@ -1,0 +1,92 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gcon {
+
+void SaveGraph(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  GCON_CHECK(out.good()) << "cannot open " << path << " for writing";
+  out << "gcon-graph v1\n";
+  out << "nodes " << graph.num_nodes() << " classes " << graph.num_classes()
+      << " features " << graph.feature_dim() << " edges " << graph.num_edges()
+      << "\n";
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    out << "L " << v << " " << graph.label(v) << "\n";
+  }
+  const Matrix& x = graph.features();
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    out << "F " << v;
+    for (int j = 0; j < graph.feature_dim(); ++j) {
+      const double value = x(static_cast<std::size_t>(v), static_cast<std::size_t>(j));
+      if (value != 0.0) {
+        out << " " << j << ":" << value;
+      }
+    }
+    out << "\n";
+  }
+  for (const auto& [u, v] : graph.EdgeList()) {
+    out << "E " << u << " " << v << "\n";
+  }
+  GCON_CHECK(out.good()) << "write failure on " << path;
+}
+
+Graph LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  GCON_CHECK(in.good()) << "cannot open " << path;
+  std::string line;
+  GCON_CHECK(static_cast<bool>(std::getline(in, line))) << "empty file";
+  GCON_CHECK_EQ(line, std::string("gcon-graph v1")) << "bad magic: " << line;
+
+  std::string word;
+  int n = 0, c = 0, d = 0;
+  std::size_t m = 0;
+  GCON_CHECK(static_cast<bool>(std::getline(in, line)));
+  {
+    std::istringstream header(line);
+    std::string k1, k2, k3, k4;
+    header >> k1 >> n >> k2 >> c >> k3 >> d >> k4 >> m;
+    GCON_CHECK_EQ(k1, std::string("nodes"));
+    GCON_CHECK_EQ(k2, std::string("classes"));
+    GCON_CHECK_EQ(k3, std::string("features"));
+    GCON_CHECK_EQ(k4, std::string("edges"));
+  }
+  Graph graph(n, c);
+  Matrix x(static_cast<std::size_t>(n), static_cast<std::size_t>(d));
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    row >> word;
+    if (word == "L") {
+      int v = 0, label = 0;
+      row >> v >> label;
+      graph.set_label(v, label);
+    } else if (word == "F") {
+      int v = 0;
+      row >> v;
+      std::string pair;
+      while (row >> pair) {
+        const auto colon = pair.find(':');
+        GCON_CHECK_NE(colon, std::string::npos) << "bad feature " << pair;
+        const int idx = std::stoi(pair.substr(0, colon));
+        const double value = std::stod(pair.substr(colon + 1));
+        x.At(static_cast<std::size_t>(v), static_cast<std::size_t>(idx)) = value;
+      }
+    } else if (word == "E") {
+      int u = 0, v = 0;
+      row >> u >> v;
+      GCON_CHECK(graph.AddEdge(u, v)) << "duplicate edge " << u << "-" << v;
+    } else {
+      GCON_CHECK(false) << "bad record type: " << word;
+    }
+  }
+  GCON_CHECK_EQ(graph.num_edges(), m) << "edge count mismatch";
+  graph.set_features(std::move(x));
+  graph.CheckConsistency();
+  return graph;
+}
+
+}  // namespace gcon

@@ -1,0 +1,53 @@
+#include "graph/splits.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gcon {
+
+Split PlanetoidSplit(const Graph& graph, int per_class, int val_size,
+                     int test_size, Rng* rng) {
+  const int n = graph.num_nodes();
+  const std::vector<int> order = rng->Permutation(n);
+  std::vector<int> taken_per_class(static_cast<std::size_t>(graph.num_classes()),
+                                   0);
+  Split split;
+  std::vector<int> rest;
+  for (int idx : order) {
+    const int label = graph.label(idx);
+    if (taken_per_class[static_cast<std::size_t>(label)] < per_class) {
+      split.train.push_back(idx);
+      ++taken_per_class[static_cast<std::size_t>(label)];
+    } else {
+      rest.push_back(idx);
+    }
+  }
+  const int val_take = std::min<int>(val_size, static_cast<int>(rest.size()));
+  split.val.assign(rest.begin(), rest.begin() + val_take);
+  const int test_take =
+      std::min<int>(test_size, static_cast<int>(rest.size()) - val_take);
+  split.test.assign(rest.begin() + val_take,
+                    rest.begin() + val_take + test_take);
+  return split;
+}
+
+Split ProportionalSplit(const Graph& graph, double train_frac, double val_frac,
+                        double test_frac, Rng* rng) {
+  GCON_CHECK_LE(train_frac + val_frac + test_frac, 1.0 + 1e-9);
+  const int n = graph.num_nodes();
+  const std::vector<int> order = rng->Permutation(n);
+  const int train_take = static_cast<int>(train_frac * n);
+  const int val_take = static_cast<int>(val_frac * n);
+  const int test_take = std::min<int>(static_cast<int>(test_frac * n),
+                                      n - train_take - val_take);
+  Split split;
+  split.train.assign(order.begin(), order.begin() + train_take);
+  split.val.assign(order.begin() + train_take,
+                   order.begin() + train_take + val_take);
+  split.test.assign(order.begin() + train_take + val_take,
+                    order.begin() + train_take + val_take + test_take);
+  return split;
+}
+
+}  // namespace gcon

@@ -1,0 +1,36 @@
+// Train/validation/test node splits.
+//
+// The paper (Appendix P) uses the fixed "planetoid" style split for the
+// citation graphs — 20 training nodes per class, 500 validation, 1000 test —
+// and random 60/20/20 proportional splits for Actor. Both are provided;
+// sizes are clamped when a (scaled-down) graph is too small for the nominal
+// counts.
+#ifndef GCON_GRAPH_SPLITS_H_
+#define GCON_GRAPH_SPLITS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "rng/rng.h"
+
+namespace gcon {
+
+struct Split {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+
+/// Planetoid-style split: `per_class` training nodes from each class, then
+/// `val_size` validation and `test_size` test nodes from the remainder.
+/// Counts are clamped to what the graph can supply.
+Split PlanetoidSplit(const Graph& graph, int per_class, int val_size,
+                     int test_size, Rng* rng);
+
+/// Random proportional split (fractions must sum to <= 1).
+Split ProportionalSplit(const Graph& graph, double train_frac, double val_frac,
+                        double test_frac, Rng* rng);
+
+}  // namespace gcon
+
+#endif  // GCON_GRAPH_SPLITS_H_

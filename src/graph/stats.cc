@@ -1,0 +1,54 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+namespace gcon {
+
+double HomophilyRatio(const Graph& graph) {
+  double total = 0.0;
+  int counted = 0;
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    const auto& neighbors = graph.Neighbors(v);
+    if (neighbors.empty()) continue;
+    int same = 0;
+    for (int u : neighbors) {
+      if (graph.label(u) == graph.label(v)) ++same;
+    }
+    total += static_cast<double>(same) / static_cast<double>(neighbors.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+int MaxDegree(const Graph& graph) {
+  int best = 0;
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    best = std::max(best, graph.Degree(v));
+  }
+  return best;
+}
+
+double MeanDegree(const Graph& graph) {
+  if (graph.num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(graph.num_edges()) /
+         static_cast<double>(graph.num_nodes());
+}
+
+int IsolatedCount(const Graph& graph) {
+  int count = 0;
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.Degree(v) == 0) ++count;
+  }
+  return count;
+}
+
+double ClassFraction(const Graph& graph, int label) {
+  if (graph.num_nodes() == 0) return 0.0;
+  int count = 0;
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.label(v) == label) ++count;
+  }
+  return static_cast<double>(count) / graph.num_nodes();
+}
+
+}  // namespace gcon

@@ -1,0 +1,28 @@
+// Graph statistics used by Table II and by generator calibration tests.
+#ifndef GCON_GRAPH_STATS_H_
+#define GCON_GRAPH_STATS_H_
+
+#include "graph/graph.h"
+
+namespace gcon {
+
+/// Homophily ratio per Definition 7 of the paper: the mean over nodes (with
+/// at least one neighbor) of the fraction of neighbors sharing the node's
+/// label. Isolated nodes are skipped.
+double HomophilyRatio(const Graph& graph);
+
+/// Maximum node degree.
+int MaxDegree(const Graph& graph);
+
+/// Mean node degree (2|E|/n).
+double MeanDegree(const Graph& graph);
+
+/// Number of nodes with zero degree.
+int IsolatedCount(const Graph& graph);
+
+/// Fraction of label l among all nodes.
+double ClassFraction(const Graph& graph, int label);
+
+}  // namespace gcon
+
+#endif  // GCON_GRAPH_STATS_H_

@@ -1,0 +1,62 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcon {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> values) {
+  rows_ = values.size();
+  cols_ = rows_ == 0 ? 0 : values.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : values) {
+    GCON_CHECK_EQ(row.size(), cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double& Matrix::At(std::size_t i, std::size_t j) {
+  GCON_CHECK_LT(i, rows_);
+  GCON_CHECK_LT(j, cols_);
+  return (*this)(i, j);
+}
+
+double Matrix::At(std::size_t i, std::size_t j) const {
+  GCON_CHECK_LT(i, rows_);
+  GCON_CHECK_LT(j, cols_);
+  return (*this)(i, j);
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+std::vector<double> Matrix::RowCopy(std::size_t i) const {
+  GCON_CHECK_LT(i, rows_);
+  return std::vector<double>(RowPtr(i), RowPtr(i) + cols_);
+}
+
+std::vector<double> Matrix::ColCopy(std::size_t j) const {
+  GCON_CHECK_LT(j, cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out[i] = (*this)(i, j);
+  }
+  return out;
+}
+
+bool Matrix::AllClose(const Matrix& other, double atol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t k = 0; k < data_.size(); ++k) {
+    if (std::abs(data_[k] - other.data_[k]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace gcon

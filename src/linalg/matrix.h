@@ -1,0 +1,84 @@
+// Dense row-major matrix of doubles.
+//
+// This is the numeric workhorse of the repository: node-feature matrices,
+// network parameters, propagated features, and noise matrices are all
+// `Matrix`. The representation is a flat std::vector<double> in row-major
+// order; rows are contiguous so row-wise kernels (normalization, SpMM
+// accumulation) are cache-friendly.
+#ifndef GCON_LINALG_MATRIX_H_
+#define GCON_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gcon {
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Construction from nested initializer lists, e.g. {{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Bounds-checked accessors for tests and non-hot paths.
+  double& At(std::size_t i, std::size_t j);
+  double At(std::size_t i, std::size_t j) const;
+
+  /// Pointer to the start of row i (contiguous, cols() doubles).
+  double* RowPtr(std::size_t i) { return data_.data() + i * cols_; }
+  const double* RowPtr(std::size_t i) const { return data_.data() + i * cols_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  /// Sets every element to zero.
+  void SetZero() { Fill(0.0); }
+
+  /// Resizes to rows x cols, zero-filling (old contents discarded).
+  void Resize(std::size_t rows, std::size_t cols);
+
+  /// Returns a copy of row i as a vector.
+  std::vector<double> RowCopy(std::size_t i) const;
+
+  /// Returns a copy of column j as a vector.
+  std::vector<double> ColCopy(std::size_t j) const;
+
+  /// Equality within absolute tolerance (used by tests).
+  bool AllClose(const Matrix& other, double atol = 1e-9) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_LINALG_MATRIX_H_

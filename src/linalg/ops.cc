@@ -1,0 +1,285 @@
+#include "linalg/ops.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace gcon {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  Gemm(1.0, a, b, 0.0, &c);
+  return c;
+}
+
+void Gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
+          Matrix* c) {
+  GCON_CHECK_EQ(a.cols(), b.rows()) << "gemm: inner dims mismatch";
+  GCON_CHECK_EQ(c->rows(), a.rows());
+  GCON_CHECK_EQ(c->cols(), b.cols());
+  const std::int64_t m = static_cast<std::int64_t>(a.rows());
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    double* crow = c->RowPtr(static_cast<std::size_t>(i));
+    if (beta == 0.0) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const double* arow = a.RowPtr(static_cast<std::size_t>(i));
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = alpha * arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.RowPtr(p);
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  GCON_CHECK_EQ(a.rows(), b.rows()) << "gemm^T: row mismatch";
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  const std::size_t k = a.rows();
+  Matrix c(m, n);
+  // C[p, j] = sum_i A[i, p] * B[i, j]. Accumulate row blocks of B scaled by
+  // A's column entries; parallelize over output rows to avoid write races.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t p = 0; p < static_cast<std::int64_t>(m); ++p) {
+    double* crow = c.RowPtr(static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < k; ++i) {
+      const double av = a(i, static_cast<std::size_t>(p));
+      if (av == 0.0) continue;
+      const double* brow = b.RowPtr(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  GCON_CHECK_EQ(a.cols(), b.cols()) << "gemm B^T: col mismatch";
+  const std::size_t m = a.rows();
+  const std::size_t n = b.rows();
+  const std::size_t k = a.cols();
+  Matrix c(m, n);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(m); ++i) {
+    const double* arow = a.RowPtr(static_cast<std::size_t>(i));
+    double* crow = c.RowPtr(static_cast<std::size_t>(i));
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b.RowPtr(j);
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += arow[p] * brow[p];
+      }
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  GCON_CHECK_EQ(a.cols(), x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      acc += arow[j] * x[j];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> MatVecTransA(const Matrix& a,
+                                 const std::vector<double>& x) {
+  GCON_CHECK_EQ(a.rows(), x.size());
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      y[j] += xi * arow[j];
+    }
+  }
+  return y;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      t(j, i) = arow[j];
+    }
+  }
+  return t;
+}
+
+void AxpyInPlace(double alpha, const Matrix& b, Matrix* a) {
+  GCON_CHECK_EQ(a->rows(), b.rows());
+  GCON_CHECK_EQ(a->cols(), b.cols());
+  double* ad = a->data();
+  const double* bd = b.data();
+  for (std::size_t k = 0; k < a->size(); ++k) {
+    ad[k] += alpha * bd[k];
+  }
+}
+
+void ScaleInPlace(double alpha, Matrix* a) {
+  double* ad = a->data();
+  for (std::size_t k = 0; k < a->size(); ++k) {
+    ad[k] *= alpha;
+  }
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  GCON_CHECK_EQ(a.rows(), b.rows());
+  GCON_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    c.data()[k] = a.data()[k] * b.data()[k];
+  }
+  return c;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  AxpyInPlace(1.0, b, &c);
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  AxpyInPlace(-1.0, b, &c);
+  return c;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  return ConcatCols(std::vector<Matrix>{a, b});
+}
+
+Matrix ConcatCols(const std::vector<Matrix>& blocks) {
+  GCON_CHECK(!blocks.empty());
+  const std::size_t rows = blocks.front().rows();
+  std::size_t cols = 0;
+  for (const Matrix& b : blocks) {
+    GCON_CHECK_EQ(b.rows(), rows) << "concat: row mismatch";
+    cols += b.cols();
+  }
+  Matrix out(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* dst = out.RowPtr(i);
+    for (const Matrix& b : blocks) {
+      const double* src = b.RowPtr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        *dst++ = src[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<int>& index) {
+  Matrix out(index.size(), a.cols());
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    GCON_CHECK_GE(index[i], 0);
+    GCON_CHECK_LT(static_cast<std::size_t>(index[i]), a.rows());
+    const double* src = a.RowPtr(static_cast<std::size_t>(index[i]));
+    double* dst = out.RowPtr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+double FrobeniusNorm(const Matrix& a) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    acc += a.data()[k] * a.data()[k];
+  }
+  return std::sqrt(acc);
+}
+
+double DotAll(const Matrix& a, const Matrix& b) {
+  GCON_CHECK_EQ(a.rows(), b.rows());
+  GCON_CHECK_EQ(a.cols(), b.cols());
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    acc += a.data()[k] * b.data()[k];
+  }
+  return acc;
+}
+
+double RowNorm2(const Matrix& a, std::size_t i) {
+  const double* row = a.RowPtr(i);
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    acc += row[j] * row[j];
+  }
+  return std::sqrt(acc);
+}
+
+double RowSum(const Matrix& a, std::size_t i) {
+  const double* row = a.RowPtr(i);
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j];
+  return acc;
+}
+
+double ColSum(const Matrix& a, std::size_t j) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) acc += a(i, j);
+  return acc;
+}
+
+void RowL2NormalizeInPlace(Matrix* a, double eps) {
+  for (std::size_t i = 0; i < a->rows(); ++i) {
+    const double norm = RowNorm2(*a, i);
+    if (norm <= eps) continue;
+    double* row = a->RowPtr(i);
+    const double inv = 1.0 / norm;
+    for (std::size_t j = 0; j < a->cols(); ++j) row[j] *= inv;
+  }
+}
+
+std::size_t RowArgMax(const Matrix& a, std::size_t i) {
+  GCON_CHECK_GT(a.cols(), 0u);
+  const double* row = a.RowPtr(i);
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < a.cols(); ++j) {
+    if (row[j] > row[best]) best = j;
+  }
+  return best;
+}
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y) {
+  GCON_CHECK_EQ(x.size(), y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& x) { return std::sqrt(Dot(x, x)); }
+
+double Norm1(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+void Axpy(double alpha, const std::vector<double>& y, std::vector<double>* x) {
+  GCON_CHECK_EQ(x->size(), y.size());
+  for (std::size_t i = 0; i < x->size(); ++i) {
+    (*x)[i] += alpha * y[i];
+  }
+}
+
+}  // namespace gcon

@@ -1,0 +1,109 @@
+// Dense BLAS-like kernels on Matrix and std::vector<double>.
+//
+// All kernels are written for clarity first; the matrix products use a
+// cache-friendly i-k-j loop order and OpenMP over rows, which is plenty for
+// the problem sizes in this repository (n up to ~20k, feature dims up to a
+// few thousand).
+#ifndef GCON_LINALG_OPS_H_
+#define GCON_LINALG_OPS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+// ---------------------------------------------------------------------------
+// Matrix products
+// ---------------------------------------------------------------------------
+
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n).
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// General update: C = alpha * A * B + beta * C (C must be m x n).
+void Gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
+          Matrix* c);
+
+/// y = A * x (matrix-vector).
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);
+
+/// y = A^T * x.
+std::vector<double> MatVecTransA(const Matrix& a, const std::vector<double>& x);
+
+// ---------------------------------------------------------------------------
+// Element-wise and structural ops
+// ---------------------------------------------------------------------------
+
+/// Returns A^T.
+Matrix Transpose(const Matrix& a);
+
+/// a += alpha * b (same shape).
+void AxpyInPlace(double alpha, const Matrix& b, Matrix* a);
+
+/// a *= alpha.
+void ScaleInPlace(double alpha, Matrix* a);
+
+/// Element-wise product: returns a ⊙ b.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// Returns a + b.
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// Returns a - b.
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// Horizontal concatenation [a | b] (same row count).
+Matrix ConcatCols(const Matrix& a, const Matrix& b);
+
+/// Horizontal concatenation of several blocks.
+Matrix ConcatCols(const std::vector<Matrix>& blocks);
+
+/// Copies the rows of `a` listed in `index` into a new matrix.
+Matrix GatherRows(const Matrix& a, const std::vector<int>& index);
+
+// ---------------------------------------------------------------------------
+// Reductions and norms
+// ---------------------------------------------------------------------------
+
+/// Frobenius norm of A.
+double FrobeniusNorm(const Matrix& a);
+
+/// Sum over all elements of the element-wise product a ⊙ b
+/// (the ⊙-then-sum operator in Eq. (13) of the paper).
+double DotAll(const Matrix& a, const Matrix& b);
+
+/// L2 norm of row i.
+double RowNorm2(const Matrix& a, std::size_t i);
+
+/// Sum of row i.
+double RowSum(const Matrix& a, std::size_t i);
+
+/// Sum of column j.
+double ColSum(const Matrix& a, std::size_t j);
+
+/// Normalizes each row to unit L2 norm. Rows with norm below `eps`
+/// are left unchanged (they would otherwise divide by ~0).
+void RowL2NormalizeInPlace(Matrix* a, double eps = 1e-12);
+
+/// Index of the maximum element in row i (ties -> smallest index).
+std::size_t RowArgMax(const Matrix& a, std::size_t i);
+
+// ---------------------------------------------------------------------------
+// Vector helpers
+// ---------------------------------------------------------------------------
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+double Norm2(const std::vector<double>& x);
+double Norm1(const std::vector<double>& x);
+/// x += alpha * y.
+void Axpy(double alpha, const std::vector<double>& y, std::vector<double>* x);
+
+}  // namespace gcon
+
+#endif  // GCON_LINALG_OPS_H_

@@ -1,0 +1,65 @@
+#include "nn/activations.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace gcon {
+
+void ApplyActivationInPlace(Activation act, Matrix* m) {
+  double* data = m->data();
+  const std::size_t size = m->size();
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (std::size_t k = 0; k < size; ++k) {
+        if (data[k] < 0.0) data[k] = 0.0;
+      }
+      return;
+    case Activation::kTanh:
+      for (std::size_t k = 0; k < size; ++k) {
+        data[k] = std::tanh(data[k]);
+      }
+      return;
+    case Activation::kSigmoid:
+      for (std::size_t k = 0; k < size; ++k) {
+        data[k] = 1.0 / (1.0 + std::exp(-data[k]));
+      }
+      return;
+  }
+}
+
+void ActivationDerivFromOutput(Activation act, const Matrix& out,
+                               Matrix* deriv) {
+  deriv->Resize(out.rows(), out.cols());
+  const double* o = out.data();
+  double* d = deriv->data();
+  const std::size_t size = out.size();
+  switch (act) {
+    case Activation::kIdentity:
+      for (std::size_t k = 0; k < size; ++k) d[k] = 1.0;
+      return;
+    case Activation::kRelu:
+      for (std::size_t k = 0; k < size; ++k) d[k] = o[k] > 0.0 ? 1.0 : 0.0;
+      return;
+    case Activation::kTanh:
+      for (std::size_t k = 0; k < size; ++k) d[k] = 1.0 - o[k] * o[k];
+      return;
+    case Activation::kSigmoid:
+      for (std::size_t k = 0; k < size; ++k) d[k] = o[k] * (1.0 - o[k]);
+      return;
+  }
+}
+
+Activation ActivationByName(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  GCON_CHECK(false) << "unknown activation: " << name;
+  return Activation::kIdentity;
+}
+
+}  // namespace gcon

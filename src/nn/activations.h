@@ -1,0 +1,31 @@
+// Element-wise activation functions and their derivatives.
+#ifndef GCON_NN_ACTIVATIONS_H_
+#define GCON_NN_ACTIVATIONS_H_
+
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+enum class Activation {
+  kIdentity,
+  kRelu,
+  kTanh,
+  kSigmoid,
+};
+
+/// Applies the activation element-wise in place.
+void ApplyActivationInPlace(Activation act, Matrix* m);
+
+/// Given the *post-activation* values `out`, writes the element-wise
+/// derivative d act(x) / dx into `deriv` (same shape). For ReLU this is the
+/// usual subgradient with deriv(0) = 0. Using post-activation values avoids
+/// retaining pre-activation buffers for tanh/sigmoid.
+void ActivationDerivFromOutput(Activation act, const Matrix& out,
+                               Matrix* deriv);
+
+/// Parses "identity" / "relu" / "tanh" / "sigmoid".
+Activation ActivationByName(const std::string& name);
+
+}  // namespace gcon
+
+#endif  // GCON_NN_ACTIVATIONS_H_

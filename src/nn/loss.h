@@ -1,0 +1,25 @@
+// Classification losses for the non-convex components (encoder, baselines).
+//
+// The GCON convex stage uses its own loss family (core/convex_loss.h); this
+// header is standard softmax cross-entropy for MLP/GCN training.
+#ifndef GCON_NN_LOSS_H_
+#define GCON_NN_LOSS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+/// Row-wise softmax (numerically stable).
+Matrix Softmax(const Matrix& logits);
+
+/// Mean softmax cross-entropy over the rows of `logits` listed in `index`
+/// against integer `labels` (global node ids). If `grad` is non-null it
+/// receives d loss / d logits — a full-size matrix, zero outside `index`.
+double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& labels,
+                           const std::vector<int>& index, Matrix* grad);
+
+}  // namespace gcon
+
+#endif  // GCON_NN_LOSS_H_

@@ -1,0 +1,94 @@
+#include "nn/mlp_io.h"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/check.h"
+
+namespace gcon {
+namespace {
+
+const char* ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "identity";
+}
+
+void WriteMatrix(const char* tag, int layer, const Matrix& m,
+                 std::ostream* out) {
+  *out << tag << " " << layer << " " << m.rows() << " " << m.cols() << "\n";
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      *out << row[j] << (j + 1 == m.cols() ? "" : " ");
+    }
+    *out << "\n";
+  }
+}
+
+void ReadMatrixInto(const char* tag, int expected_layer, std::istream* in,
+                    Matrix* m) {
+  std::string word;
+  int layer = 0;
+  std::size_t rows = 0, cols = 0;
+  *in >> word >> layer >> rows >> cols;
+  GCON_CHECK_EQ(word, std::string(tag)) << "expected " << tag;
+  GCON_CHECK_EQ(layer, expected_layer);
+  GCON_CHECK_EQ(rows, m->rows()) << "layer " << layer << " shape mismatch";
+  GCON_CHECK_EQ(cols, m->cols());
+  for (std::size_t k = 0; k < m->size(); ++k) {
+    GCON_CHECK(static_cast<bool>(*in >> m->data()[k])) << "truncated matrix";
+  }
+}
+
+}  // namespace
+
+void SaveMlp(const Mlp& mlp, std::ostream* out) {
+  const MlpOptions& options = mlp.options();
+  *out << std::setprecision(17);
+  *out << "mlp " << options.dims.size();
+  for (int dim : options.dims) {
+    *out << " " << dim;
+  }
+  *out << " " << ActivationName(options.hidden_activation) << "\n";
+  for (int l = 0; l < mlp.num_layers(); ++l) {
+    WriteMatrix("W", l, mlp.weight(l), out);
+    WriteMatrix("b", l, mlp.bias(l), out);
+  }
+}
+
+Mlp LoadMlp(std::istream* in) {
+  std::string word;
+  *in >> word;
+  GCON_CHECK_EQ(word, std::string("mlp")) << "bad mlp magic";
+  std::size_t dim_count = 0;
+  *in >> dim_count;
+  GCON_CHECK_GE(dim_count, 2u);
+  MlpOptions options;
+  options.dims.resize(dim_count);
+  for (auto& dim : options.dims) {
+    *in >> dim;
+    GCON_CHECK_GT(dim, 0);
+  }
+  std::string activation;
+  *in >> activation;
+  options.hidden_activation = ActivationByName(activation);
+  Mlp mlp(options);
+  for (int l = 0; l < mlp.num_layers(); ++l) {
+    ReadMatrixInto("W", l, in, mlp.mutable_weight(l));
+    ReadMatrixInto("b", l, in, mlp.mutable_bias(l));
+  }
+  return mlp;
+}
+
+}  // namespace gcon

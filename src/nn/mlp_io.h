@@ -1,0 +1,26 @@
+// MLP (de)serialization, needed to persist the GCON feature encoder
+// alongside the released parameters Θ_priv so a downstream consumer can
+// encode new graphs (inference scenario (ii)).
+//
+// Text format (line oriented, inside a larger stream):
+//   mlp <num_layers+1 dims...> <activation>
+//   W <layer> <rows> <cols> followed by rows*cols doubles
+//   b <layer> <cols> followed by cols doubles
+#ifndef GCON_NN_MLP_IO_H_
+#define GCON_NN_MLP_IO_H_
+
+#include <iosfwd>
+
+#include "nn/mlp.h"
+
+namespace gcon {
+
+/// Writes the architecture and weights of `mlp` to `out`.
+void SaveMlp(const Mlp& mlp, std::ostream* out);
+
+/// Reads an MLP previously written by SaveMlp. Aborts on malformed input.
+Mlp LoadMlp(std::istream* in);
+
+}  // namespace gcon
+
+#endif  // GCON_NN_MLP_IO_H_

@@ -1,0 +1,69 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gcon {
+
+std::size_t Adam::Register(const Matrix& param) {
+  Slots s;
+  s.m.Resize(param.rows(), param.cols());
+  s.v.Resize(param.rows(), param.cols());
+  slots_.push_back(std::move(s));
+  return slots_.size() - 1;
+}
+
+void Adam::Step(std::size_t slot, const Matrix& grad, Matrix* param) {
+  GCON_CHECK_LT(slot, slots_.size());
+  GCON_CHECK_GT(t_, 0) << "call BeginStep() before Step()";
+  Slots& s = slots_[slot];
+  GCON_CHECK_EQ(s.m.rows(), param->rows());
+  GCON_CHECK_EQ(s.m.cols(), param->cols());
+  GCON_CHECK_EQ(grad.rows(), param->rows());
+  GCON_CHECK_EQ(grad.cols(), param->cols());
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double lr = options_.learning_rate;
+  const double wd = options_.weight_decay;
+  double* p = param->data();
+  const double* g = grad.data();
+  double* m = s.m.data();
+  double* v = s.v.data();
+  for (std::size_t k = 0; k < param->size(); ++k) {
+    const double gk = g[k] + wd * p[k];
+    m[k] = b1 * m[k] + (1.0 - b1) * gk;
+    v[k] = b2 * v[k] + (1.0 - b2) * gk * gk;
+    const double m_hat = m[k] / bias1;
+    const double v_hat = v[k] / bias2;
+    p[k] -= lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+  }
+}
+
+std::size_t Sgd::Register(const Matrix& param) {
+  Matrix vel(param.rows(), param.cols());
+  velocity_.push_back(std::move(vel));
+  return velocity_.size() - 1;
+}
+
+void Sgd::Step(std::size_t slot, const Matrix& grad, Matrix* param) {
+  GCON_CHECK_LT(slot, velocity_.size());
+  Matrix& vel = velocity_[slot];
+  GCON_CHECK_EQ(grad.rows(), param->rows());
+  GCON_CHECK_EQ(grad.cols(), param->cols());
+  double* p = param->data();
+  const double* g = grad.data();
+  double* v = vel.data();
+  const double mu = options_.momentum;
+  const double lr = options_.learning_rate;
+  const double wd = options_.weight_decay;
+  for (std::size_t k = 0; k < param->size(); ++k) {
+    const double gk = g[k] + wd * p[k];
+    v[k] = mu * v[k] + gk;
+    p[k] -= lr * v[k];
+  }
+}
+
+}  // namespace gcon

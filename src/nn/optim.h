@@ -1,0 +1,78 @@
+// First-order optimizers operating on Matrix parameters.
+//
+// The same Adam implementation drives the MLP encoder, the GCN baselines,
+// and the GCON convex stage (the paper's Remark after Theorem 1 notes the
+// privacy guarantee is independent of the optimizer, so Adam is safe there).
+#ifndef GCON_NN_OPTIM_H_
+#define GCON_NN_OPTIM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+/// Adam (Kingma & Ba, 2015) over a fixed set of parameter tensors.
+/// Weight decay is decoupled-style: applied as `grad + wd * param`.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 0.01;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  explicit Adam(Options options) : options_(options) {}
+
+  /// Registers a parameter tensor; returns its slot id. The tensor's shape
+  /// must stay fixed for the optimizer's lifetime.
+  std::size_t Register(const Matrix& param);
+
+  /// Applies one Adam update to `param` (registered as `slot`) given `grad`.
+  void Step(std::size_t slot, const Matrix& grad, Matrix* param);
+
+  /// Advances the shared timestep. Call once per optimization step, before
+  /// the per-tensor Step calls of that iteration.
+  void BeginStep() { ++t_; }
+
+  const Options& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  struct Slots {
+    Matrix m;
+    Matrix v;
+  };
+  Options options_;
+  std::vector<Slots> slots_;
+  long t_ = 0;
+};
+
+/// Plain (full-batch or stochastic) gradient descent with optional momentum.
+class Sgd {
+ public:
+  struct Options {
+    double learning_rate = 0.1;
+    double momentum = 0.0;
+    double weight_decay = 0.0;
+  };
+
+  explicit Sgd(Options options) : options_(options) {}
+
+  std::size_t Register(const Matrix& param);
+  void Step(std::size_t slot, const Matrix& grad, Matrix* param);
+
+  const Options& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  Options options_;
+  std::vector<Matrix> velocity_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_NN_OPTIM_H_

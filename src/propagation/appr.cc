@@ -1,0 +1,79 @@
+#include "propagation/appr.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/ops.h"
+
+namespace gcon {
+namespace {
+
+// One APPR round: z <- (1-alpha) * T z + alpha * x.
+Matrix Round(const CsrMatrix& transition, const Matrix& z, const Matrix& x,
+             double alpha) {
+  Matrix next = transition.Multiply(z);
+  ScaleInPlace(1.0 - alpha, &next);
+  AxpyInPlace(alpha, x, &next);
+  return next;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  double best = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double d = std::abs(a.data()[k] - b.data()[k]);
+    if (d > best) best = d;
+  }
+  return best;
+}
+
+}  // namespace
+
+Matrix ApprPropagate(const CsrMatrix& transition, const Matrix& x, int m,
+                     double alpha) {
+  GCON_CHECK_GE(m, 0);
+  GCON_CHECK_GT(alpha, 0.0);
+  GCON_CHECK_LE(alpha, 1.0);
+  Matrix z = x;
+  for (int t = 0; t < m; ++t) {
+    z = Round(transition, z, x, alpha);
+  }
+  return z;
+}
+
+Matrix PprPropagate(const CsrMatrix& transition, const Matrix& x, double alpha,
+                    double tolerance, int max_rounds) {
+  GCON_CHECK_GT(alpha, 0.0);
+  GCON_CHECK_LE(alpha, 1.0);
+  if (alpha == 1.0) return x;  // R_inf = I when the walk restarts always.
+  Matrix z = x;
+  for (int t = 0; t < max_rounds; ++t) {
+    Matrix next = Round(transition, z, x, alpha);
+    const double diff = MaxAbsDiff(next, z);
+    z = std::move(next);
+    if (diff < tolerance) break;
+  }
+  return z;
+}
+
+Matrix Propagate(const CsrMatrix& transition, const Matrix& x, int m,
+                 double alpha) {
+  if (m == kInfiniteSteps) {
+    return PprPropagate(transition, x, alpha);
+  }
+  return ApprPropagate(transition, x, m, alpha);
+}
+
+Matrix ConcatPropagate(const CsrMatrix& transition, const Matrix& x,
+                       const std::vector<int>& steps, double alpha) {
+  GCON_CHECK(!steps.empty());
+  std::vector<Matrix> blocks;
+  blocks.reserve(steps.size());
+  for (int m : steps) {
+    blocks.push_back(Propagate(transition, x, m, alpha));
+  }
+  Matrix z = ConcatCols(blocks);
+  ScaleInPlace(1.0 / static_cast<double>(steps.size()), &z);
+  return z;
+}
+
+}  // namespace gcon

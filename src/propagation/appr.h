@@ -1,0 +1,43 @@
+// PPR / APPR feature propagation (Eqs. (4)–(6), (9)–(11) of the paper).
+//
+// APPR with m steps computes Z_m = R_m X through the recursion
+//   Z_0 = X,   Z_t = (1-alpha) Ã Z_{t-1} + alpha X,
+// which is exactly R_m X by Eq. (4) and costs m SpMMs — the n x n matrix
+// R_m is never materialized. PPR (m = infinity) iterates the same recursion
+// to a fixed point; the iteration contracts at rate (1-alpha), so the
+// number of rounds needed for tolerance tau is log(tau) / log(1-alpha).
+#ifndef GCON_PROPAGATION_APPR_H_
+#define GCON_PROPAGATION_APPR_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "sparse/csr_matrix.h"
+
+namespace gcon {
+
+/// Sentinel step count meaning m = infinity (the PPR scheme, Eq. (5)).
+inline constexpr int kInfiniteSteps = -1;
+
+/// Z_m = R_m X for finite m >= 0 (Eq. (9), middle case; m = 0 returns X).
+Matrix ApprPropagate(const CsrMatrix& transition, const Matrix& x, int m,
+                     double alpha);
+
+/// Z_inf = R_inf X (Eq. (9), last case), iterated to `tolerance` in the
+/// max-abs sense (plus a hard cap of `max_rounds`).
+Matrix PprPropagate(const CsrMatrix& transition, const Matrix& x, double alpha,
+                    double tolerance = 1e-10, int max_rounds = 10000);
+
+/// Dispatches on m (kInfiniteSteps -> PPR).
+Matrix Propagate(const CsrMatrix& transition, const Matrix& x, int m,
+                 double alpha);
+
+/// The concatenated multi-scale feature matrix of Eq. (11):
+///   Z = (1/s) (Z_{m_1} ⊕ ... ⊕ Z_{m_s}).
+/// `steps` entries are >= 0 or kInfiniteSteps.
+Matrix ConcatPropagate(const CsrMatrix& transition, const Matrix& x,
+                       const std::vector<int>& steps, double alpha);
+
+}  // namespace gcon
+
+#endif  // GCON_PROPAGATION_APPR_H_

@@ -1,0 +1,48 @@
+#include "propagation/sensitivity.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "propagation/appr.h"
+
+namespace gcon {
+
+double SensitivityZm(int m, double alpha) {
+  GCON_CHECK_GT(alpha, 0.0);
+  GCON_CHECK_LE(alpha, 1.0);
+  if (m == kInfiniteSteps) {
+    return 2.0 * (1.0 - alpha) / alpha;
+  }
+  GCON_CHECK_GE(m, 0);
+  if (alpha == 1.0) return 0.0;  // no mass ever leaves the node
+  return 2.0 * (1.0 - alpha) / alpha *
+         (1.0 - std::pow(1.0 - alpha, static_cast<double>(m)));
+}
+
+double SensitivityZ(const std::vector<int>& steps, double alpha) {
+  GCON_CHECK(!steps.empty());
+  double total = 0.0;
+  for (int m : steps) {
+    total += SensitivityZm(m, alpha);
+  }
+  return total / static_cast<double>(steps.size());
+}
+
+double EmpiricalPsi(const Matrix& z, const Matrix& z_prime) {
+  GCON_CHECK_EQ(z.rows(), z_prime.rows());
+  GCON_CHECK_EQ(z.cols(), z_prime.cols());
+  double total = 0.0;
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    const double* a = z.RowPtr(i);
+    const double* b = z_prime.RowPtr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < z.cols(); ++j) {
+      const double d = a[j] - b[j];
+      acc += d * d;
+    }
+    total += std::sqrt(acc);
+  }
+  return total;
+}
+
+}  // namespace gcon

@@ -1,0 +1,34 @@
+// Closed-form sensitivity bounds of the aggregate features (Lemma 2).
+//
+//   Ψ(Z_m)   = 2(1-alpha)/alpha * (1 - (1-alpha)^m)      (Eq. 25)
+//   Ψ(Z_inf) = 2(1-alpha)/alpha                          (limit of Eq. 25)
+//   Ψ(Z)     = (1/s) * sum_i Ψ(Z_{m_i})                  (Eq. 26)
+//
+// The sensitivity metric is Definition 3: the max over edge-level
+// neighboring graphs of sum_i ||z_i - z'_i||_2 (features row-normalized to
+// unit L2 norm beforehand). These values calibrate the objective
+// perturbation noise in Theorem 1; property tests verify that empirically
+// measured ψ(Z) never exceeds them.
+#ifndef GCON_PROPAGATION_SENSITIVITY_H_
+#define GCON_PROPAGATION_SENSITIVITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+/// Ψ(Z_m). `m` >= 0 or kInfiniteSteps; alpha in (0, 1].
+double SensitivityZm(int m, double alpha);
+
+/// Ψ(Z) for the concatenation over `steps` (Eq. 26).
+double SensitivityZ(const std::vector<int>& steps, double alpha);
+
+/// Empirical ψ(Z) between two same-shape feature matrices
+/// (sum of row-wise L2 distances, Definition 3). Test/diagnostic helper.
+double EmpiricalPsi(const Matrix& z, const Matrix& z_prime);
+
+}  // namespace gcon
+
+#endif  // GCON_PROPAGATION_SENSITIVITY_H_

@@ -1,0 +1,29 @@
+#include "propagation/transition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gcon {
+
+CsrMatrix BuildTransition(const Graph& graph, double p) {
+  GCON_CHECK_GT(p, 0.0);
+  GCON_CHECK_LE(p, 0.5);
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  CooBuilder builder(n, n);
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const double k = static_cast<double>(graph.Degree(i));
+    const double off = std::min(1.0 / (k + 1.0), p);
+    double diag = 1.0;
+    for (int j : graph.Neighbors(i)) {
+      builder.Add(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                  off);
+      diag -= off;
+    }
+    builder.Add(static_cast<std::size_t>(i), static_cast<std::size_t>(i),
+                diag);
+  }
+  return builder.Build();
+}
+
+}  // namespace gcon

@@ -1,0 +1,24 @@
+// Message-passing (transition) matrix construction.
+//
+// Ã = D^{-1}(A + I) with D the degree matrix of A + I (paper §IV-C2 with
+// r = 0): row-stochastic, off-diagonal entries 1/(k_i+1), diagonal
+// 1/(k_i+1). The generalized form of Lemma 1 clips off-diagonal entries at
+// p <= 1/2 and routes the clipped mass back to the diagonal; p = 1/2
+// reproduces the standard normalization exactly (1/(k_i+1) <= 1/2 whenever
+// k_i >= 1). The clipped variant exists so the Lemma 1 property tests can
+// exercise the general statement.
+#ifndef GCON_PROPAGATION_TRANSITION_H_
+#define GCON_PROPAGATION_TRANSITION_H_
+
+#include "graph/graph.h"
+#include "sparse/csr_matrix.h"
+
+namespace gcon {
+
+/// Builds the row-stochastic transition matrix Ã. `p` is the Lemma 1
+/// off-diagonal clip (default 1/2 = standard normalization).
+CsrMatrix BuildTransition(const Graph& graph, double p = 0.5);
+
+}  // namespace gcon
+
+#endif  // GCON_PROPAGATION_TRANSITION_H_

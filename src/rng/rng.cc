@@ -1,0 +1,245 @@
+#include "rng/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gcon {
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// SplitMix64: expands one 64-bit seed into a stream of well-mixed values.
+inline std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(&sm);
+  }
+  // xoshiro must not be seeded with all zeros; SplitMix64 of any seed makes
+  // that astronomically unlikely, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoubleOpen() {
+  double u = NextDouble();
+  while (u == 0.0) {
+    u = NextDouble();
+  }
+  return u;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  GCON_CHECK_GT(n, 0ULL);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * ((~0ULL) / n);
+  std::uint64_t x = NextUint64();
+  while (x >= limit) {
+    x = NextUint64();
+  }
+  return x % n;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  have_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double lambda) {
+  GCON_CHECK_GT(lambda, 0.0);
+  return -std::log(NextDoubleOpen()) / lambda;
+}
+
+double Rng::Laplace(double scale) {
+  GCON_CHECK_GT(scale, 0.0);
+  const double u = NextDouble() - 0.5;  // (-0.5, 0.5)
+  const double sign = u < 0.0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+double Rng::Gamma(double shape, double scale) {
+  GCON_CHECK_GT(shape, 0.0);
+  GCON_CHECK_GT(scale, 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+    const double u = NextDoubleOpen();
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x, v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = NextDoubleOpen();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return d * v * scale;
+    }
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+double Rng::Beta(double a, double b) {
+  GCON_CHECK_GT(a, 0.0);
+  GCON_CHECK_GT(b, 0.0);
+  const double x = Gamma(a, 1.0);
+  const double y = Gamma(b, 1.0);
+  const double sum = x + y;
+  return sum > 0.0 ? x / sum : 0.5;
+}
+
+double Rng::Erlang(int shape, double rate) {
+  GCON_CHECK_GT(shape, 0);
+  GCON_CHECK_GT(rate, 0.0);
+  // Gamma with integer shape; for small shapes, summing exponentials is both
+  // exact and fast; fall back to the general sampler for large shapes.
+  if (shape <= 16) {
+    double acc = 0.0;
+    for (int i = 0; i < shape; ++i) {
+      acc += Exponential(rate);
+    }
+    return acc;
+  }
+  return Gamma(static_cast<double>(shape), 1.0 / rate);
+}
+
+std::int64_t Rng::Binomial(std::int64_t n, double p) {
+  GCON_CHECK_GE(n, 0);
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (p > 0.5) return n - Binomial(n, 1.0 - p);
+  const double mean = static_cast<double>(n) * p;
+  if (n <= 64) {
+    std::int64_t count = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      count += Bernoulli(p) ? 1 : 0;
+    }
+    return count;
+  }
+  if (mean < 64.0) {
+    // Inverse-CDF walk: P(k) follows the recurrence
+    // P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p).
+    const double q = 1.0 - p;
+    const double ratio = p / q;
+    double pk = std::pow(q, static_cast<double>(n));  // P(0)
+    double cdf = pk;
+    const double u = NextDouble();
+    std::int64_t k = 0;
+    while (u > cdf && k < n) {
+      pk *= ratio * static_cast<double>(n - k) / static_cast<double>(k + 1);
+      cdf += pk;
+      ++k;
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction, clamped to [0, n].
+  const double stddev = std::sqrt(mean * (1.0 - p));
+  const double sample = std::round(Normal(mean, stddev));
+  if (sample < 0.0) return 0;
+  if (sample > static_cast<double>(n)) return n;
+  return static_cast<std::int64_t>(sample);
+}
+
+std::vector<double> Rng::SphereDirection(int d) {
+  GCON_CHECK_GE(d, 1);
+  std::vector<double> v(static_cast<std::size_t>(d));
+  double norm_sq = 0.0;
+  do {
+    norm_sq = 0.0;
+    for (auto& x : v) {
+      x = Normal();
+      norm_sq += x * x;
+    }
+  } while (norm_sq == 0.0);
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  for (auto& x : v) {
+    x *= inv;
+  }
+  return v;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const int j = static_cast<int>(UniformInt(static_cast<std::uint64_t>(i + 1)));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  GCON_CHECK_LE(k, n);
+  // Partial Fisher–Yates on an index array; O(n) memory, O(n + k) time.
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const int j =
+        i + static_cast<int>(UniformInt(static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
+    out.push_back(pool[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace gcon

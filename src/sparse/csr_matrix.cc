@@ -1,0 +1,153 @@
+#include "sparse/csr_matrix.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gcon {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::int64_t> row_ptr,
+                     std::vector<std::int32_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  GCON_CHECK_EQ(row_ptr_.size(), rows_ + 1);
+  GCON_CHECK_EQ(col_idx_.size(), values_.size());
+  GCON_CHECK_EQ(static_cast<std::size_t>(row_ptr_.back()), values_.size());
+}
+
+double CsrMatrix::At(std::size_t i, std::size_t j) const {
+  GCON_CHECK_LT(i, rows_);
+  GCON_CHECK_LT(j, cols_);
+  const auto begin = col_idx_.begin() + row_ptr_[i];
+  const auto end = col_idx_.begin() + row_ptr_[i + 1];
+  const auto it = std::lower_bound(begin, end, static_cast<std::int32_t>(j));
+  if (it == end || *it != static_cast<std::int32_t>(j)) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+double CsrMatrix::RowSum(std::size_t i) const {
+  double acc = 0.0;
+  for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+    acc += values_[static_cast<std::size_t>(k)];
+  }
+  return acc;
+}
+
+double CsrMatrix::ColSum(std::size_t j) const {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    if (col_idx_[k] == static_cast<std::int32_t>(j)) acc += values_[k];
+  }
+  return acc;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      dense(i, static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])) =
+          values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return dense;
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& x) const {
+  GCON_CHECK_EQ(cols_, x.rows()) << "spmm: dim mismatch";
+  const std::size_t d = x.cols();
+  Matrix y(rows_, d);
+#pragma omp parallel for schedule(dynamic, 256)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(rows_); ++i) {
+    double* yrow = y.RowPtr(static_cast<std::size_t>(i));
+    for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const double v = values_[static_cast<std::size_t>(k)];
+      const double* xrow =
+          x.RowPtr(static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)]));
+      for (std::size_t j = 0; j < d; ++j) {
+        yrow[j] += v * xrow[j];
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::Multiply(const std::vector<double>& x) const {
+  GCON_CHECK_EQ(cols_, x.size());
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      acc += values_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  CooBuilder builder(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      builder.Add(static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)]),
+                  i, values_[static_cast<std::size_t>(k)]);
+    }
+  }
+  return builder.Build();
+}
+
+void CsrMatrix::ScaleRows(const std::vector<double>& scale) {
+  GCON_CHECK_EQ(scale.size(), rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      values_[static_cast<std::size_t>(k)] *= scale[i];
+    }
+  }
+}
+
+void CooBuilder::Add(std::size_t i, std::size_t j, double value) {
+  GCON_CHECK_LT(i, rows_);
+  GCON_CHECK_LT(j, cols_);
+  entries_.push_back(Entry{static_cast<std::int32_t>(i),
+                           static_cast<std::int32_t>(j), value});
+}
+
+CsrMatrix CooBuilder::Build() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<std::int64_t> row_ptr(rows_ + 1, 0);
+  std::vector<std::int32_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(entries_.size());
+  values.reserve(entries_.size());
+  for (std::size_t k = 0; k < entries_.size();) {
+    const Entry& e = entries_[k];
+    double acc = 0.0;
+    std::size_t k2 = k;
+    while (k2 < entries_.size() && entries_[k2].row == e.row &&
+           entries_[k2].col == e.col) {
+      acc += entries_[k2].value;
+      ++k2;
+    }
+    col_idx.push_back(e.col);
+    values.push_back(acc);
+    row_ptr[static_cast<std::size_t>(e.row) + 1] += 1;
+    k = k2;
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    row_ptr[i + 1] += row_ptr[i];
+  }
+  entries_.clear();
+  entries_.shrink_to_fit();
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace gcon

@@ -1,0 +1,98 @@
+// Compressed sparse row matrix.
+//
+// Used for the message-passing matrix Ã = D⁻¹(A + I) and the perturbed
+// adjacency matrices of the DP baselines. Construction goes through
+// CooBuilder which sorts, merges duplicates, and produces canonical CSR
+// (row-major, column indices strictly increasing within a row).
+#ifndef GCON_SPARSE_CSR_MATRIX_H_
+#define GCON_SPARSE_CSR_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace gcon {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) { row_ptr_.push_back(0); }
+
+  /// Takes ownership of canonical CSR arrays. row_ptr has rows+1 entries;
+  /// col_idx/values have row_ptr.back() entries.
+  CsrMatrix(std::size_t rows, std::size_t cols, std::vector<std::int64_t> row_ptr,
+            std::vector<std::int32_t> col_idx, std::vector<double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  const std::vector<std::int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Number of stored entries in row i.
+  std::size_t RowNnz(std::size_t i) const {
+    return static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i]);
+  }
+
+  /// Value at (i, j); zero when not stored. O(log nnz(i)).
+  double At(std::size_t i, std::size_t j) const;
+
+  /// Sum of stored values in row i.
+  double RowSum(std::size_t i) const;
+
+  /// Sum over column j (O(nnz) per call; test/diagnostic use).
+  double ColSum(std::size_t j) const;
+
+  /// Dense copy (test/diagnostic use; beware n² memory).
+  Matrix ToDense() const;
+
+  /// Y = this * X (SpMM). X: cols() x d, result rows() x d.
+  Matrix Multiply(const Matrix& x) const;
+
+  /// y = this * x (SpMV).
+  std::vector<double> Multiply(const std::vector<double>& x) const;
+
+  /// Returns the transpose as a new CsrMatrix.
+  CsrMatrix Transposed() const;
+
+  /// Scales each row by scale[i] (in place): this_ij *= scale[i].
+  void ScaleRows(const std::vector<double>& scale);
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<std::int32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Accumulates (i, j, value) triplets and builds canonical CSR. Duplicate
+/// coordinates are summed.
+class CooBuilder {
+ public:
+  CooBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+  void Add(std::size_t i, std::size_t j, double value);
+  std::size_t entry_count() const { return entries_.size(); }
+
+  /// Builds the CSR matrix; the builder is left empty afterwards.
+  CsrMatrix Build();
+
+ private:
+  struct Entry {
+    std::int32_t row;
+    std::int32_t col;
+    double value;
+  };
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_SPARSE_CSR_MATRIX_H_

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audit/audit.h"
+#include "audit/beta_dist.h"
+#include "audit/gcon_audit.h"
+#include "graph/datasets.h"
+#include "rng/rng.h"
+
+namespace gcon {
+namespace {
+
+TEST(BetaDist, KnownValues) {
+  // I_x(1,1) = x (uniform CDF).
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedBetaI(1.0, 1.0, x), x, 1e-12);
+  }
+  // I_x(2,1) = x^2; I_x(1,2) = 1-(1-x)^2 = 2x - x^2.
+  EXPECT_NEAR(RegularizedBetaI(2.0, 1.0, 0.3), 0.09, 1e-12);
+  EXPECT_NEAR(RegularizedBetaI(1.0, 2.0, 0.3), 0.51, 1e-12);
+  // Boundaries.
+  EXPECT_DOUBLE_EQ(RegularizedBetaI(3.0, 4.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedBetaI(3.0, 4.0, 1.0), 1.0);
+}
+
+TEST(BetaDist, Symmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double a : {0.5, 2.0, 7.0}) {
+    for (double b : {1.0, 3.5}) {
+      for (double x : {0.2, 0.5, 0.77}) {
+        EXPECT_NEAR(RegularizedBetaI(a, b, x),
+                    1.0 - RegularizedBetaI(b, a, 1.0 - x), 1e-10);
+      }
+    }
+  }
+}
+
+TEST(BetaDist, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.02) {
+    const double v = RegularizedBetaI(3.0, 5.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(BetaDist, QuantileInvertsCdf) {
+  for (double a : {1.0, 4.0, 20.0}) {
+    for (double b : {2.0, 9.0}) {
+      for (double prob : {0.05, 0.5, 0.975}) {
+        const double x = BetaQuantile(a, b, prob);
+        EXPECT_NEAR(RegularizedBetaI(a, b, x), prob, 1e-8);
+      }
+    }
+  }
+}
+
+TEST(ClopperPearson, ContainsPointEstimate) {
+  for (int k : {0, 1, 25, 49, 50}) {
+    const BinomialInterval ci = ClopperPearson(k, 50, 0.95);
+    const double p_hat = k / 50.0;
+    EXPECT_LE(ci.lower, p_hat + 1e-12);
+    EXPECT_GE(ci.upper, p_hat - 1e-12);
+    EXPECT_GE(ci.lower, 0.0);
+    EXPECT_LE(ci.upper, 1.0);
+  }
+}
+
+TEST(ClopperPearson, KnownZeroSuccessBound) {
+  // The "rule of three": upper ~ 1 - (alpha/2)^(1/n) ≈ 3.7/n at 95%.
+  const BinomialInterval ci = ClopperPearson(0, 100, 0.95);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_NEAR(ci.upper, 1.0 - std::pow(0.025, 1.0 / 100.0), 1e-9);
+}
+
+TEST(ClopperPearson, TightensWithMoreTrials) {
+  const BinomialInterval small = ClopperPearson(10, 20, 0.95);
+  const BinomialInterval large = ClopperPearson(1000, 2000, 0.95);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+// --- audit of synthetic mechanisms ----------------------------------------
+
+std::vector<double> LaplaceSamples(double center, double eps, int n,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto& v : out) {
+    v = center + rng.Laplace(1.0 / eps);
+  }
+  return out;
+}
+
+TEST(Audit, LaplaceMechanismBoundIsSoundAndNonTrivial) {
+  // Counting query 0 vs 1 released with Laplace(1/eps): exactly eps-DP.
+  const double eps = 1.0;
+  const int n = 40000;
+  const auto d = LaplaceSamples(1.0, eps, n, 1);
+  const auto dp = LaplaceSamples(0.0, eps, n, 2);
+  AuditOptions options;
+  options.delta = 0.0;
+  const AuditResult result = AuditFromSamples(d, dp, options);
+  // Sound: must not exceed the true epsilon (up to CP slack; with n=40k the
+  // slack is small, allow 5%).
+  EXPECT_LE(result.eps_lower_bound, eps * 1.05);
+  // Non-trivial: a strong attack should recover a decent fraction.
+  EXPECT_GE(result.eps_lower_bound, 0.5 * eps);
+}
+
+TEST(Audit, SoundAcrossEpsilons) {
+  for (double eps : {0.5, 2.0}) {
+    const int n = 30000;
+    const auto d = LaplaceSamples(1.0, eps, n, 10);
+    const auto dp = LaplaceSamples(0.0, eps, n, 11);
+    AuditOptions options;
+    const AuditResult result = AuditFromSamples(d, dp, options);
+    EXPECT_LE(result.eps_lower_bound, eps * 1.05) << "eps=" << eps;
+    EXPECT_GT(result.eps_lower_bound, 0.3 * eps) << "eps=" << eps;
+  }
+}
+
+TEST(Audit, CatchesBrokenMechanism) {
+  // "Mechanism" with no noise at all: the two worlds are perfectly
+  // separable, eps_hat should blow up far past any plausible budget.
+  std::vector<double> d(2000, 1.0);
+  std::vector<double> dp(2000, 0.0);
+  Rng rng(3);
+  for (auto& v : d) v += rng.Normal(0.0, 1e-3);
+  for (auto& v : dp) v += rng.Normal(0.0, 1e-3);
+  AuditOptions options;
+  const AuditResult result = AuditFromSamples(d, dp, options);
+  EXPECT_GT(result.eps_lower_bound, 3.0);
+}
+
+TEST(Audit, IdenticalDistributionsGiveNearZero) {
+  const auto d = LaplaceSamples(0.0, 1.0, 20000, 4);
+  const auto dp = LaplaceSamples(0.0, 1.0, 20000, 5);
+  AuditOptions options;
+  const AuditResult result = AuditFromSamples(d, dp, options);
+  EXPECT_LT(result.eps_lower_bound, 0.1);
+}
+
+TEST(Audit, DeltaReducesTheBound) {
+  const auto d = LaplaceSamples(1.0, 1.0, 20000, 6);
+  const auto dp = LaplaceSamples(0.0, 1.0, 20000, 7);
+  AuditOptions no_delta;
+  AuditOptions with_delta;
+  with_delta.delta = 0.05;
+  const double bound_no_delta = AuditFromSamples(d, dp, no_delta).eps_lower_bound;
+  const double bound_with_delta =
+      AuditFromSamples(d, dp, with_delta).eps_lower_bound;
+  EXPECT_LE(bound_with_delta, bound_no_delta);
+}
+
+// --- end-to-end GCON audit -------------------------------------------------
+
+TEST(GconAudit, BoundRespectsConfiguredEpsilon) {
+  DatasetSpec spec = TinySpec();
+  spec.num_nodes = 100;
+  spec.num_undirected_edges = 250;
+  Rng rng(21);
+  const Graph graph = GenerateDataset(spec, &rng);
+  const Split split = MakeSplit(spec, graph, &rng);
+
+  GconConfig config;
+  config.alpha = 0.4;  // high sensitivity -> the audit has signal to find
+  config.steps = {2};
+  config.encoder.hidden = 8;
+  config.encoder.out_dim = 4;
+  config.encoder.epochs = 60;
+  config.minimize.minimizer = Minimizer::kLbfgs;
+  config.minimize.max_iterations = 200;
+  config.seed = 5;
+
+  GconAuditOptions options;
+  options.trials = 150;
+  options.seed = 9;
+  const double eps = 1.0;
+  const GconAuditResult result =
+      AuditGcon(graph, split, config, eps, 1e-4, options);
+  // Soundness: the 95%-confidence lower bound must not exceed the
+  // configured budget (a violation here = calibration bug).
+  EXPECT_LE(result.attack.eps_lower_bound, eps)
+      << "AUDIT VIOLATION: empirical privacy loss exceeds configured eps";
+  EXPECT_EQ(result.trials, 150);
+  EXPECT_GE(result.edge.first, 0);
+}
+
+TEST(GconAudit, DisabledNoiseIsDetectablyNonPrivate) {
+  // The disable_noise ablation must fail the audit spectacularly — this
+  // proves the audit has the power to catch a broken mechanism, so the
+  // passing result above is meaningful.
+  DatasetSpec spec = TinySpec();
+  spec.num_nodes = 100;
+  spec.num_undirected_edges = 250;
+  Rng rng(22);
+  const Graph graph = GenerateDataset(spec, &rng);
+  const Split split = MakeSplit(spec, graph, &rng);
+
+  GconConfig config;
+  config.alpha = 0.4;
+  config.steps = {2};
+  config.encoder.hidden = 8;
+  config.encoder.out_dim = 4;
+  config.encoder.epochs = 60;
+  config.minimize.minimizer = Minimizer::kLbfgs;
+  config.minimize.max_iterations = 200;
+  config.seed = 6;
+  config.disable_noise = true;  // NOT differentially private
+
+  GconAuditOptions options;
+  options.trials = 120;
+  options.seed = 10;
+  const GconAuditResult result =
+      AuditGcon(graph, split, config, 1.0, 1e-4, options);
+  EXPECT_GT(result.attack.eps_lower_bound, 2.0)
+      << "the audit failed to flag a mechanism with the noise disabled";
+}
+
+}  // namespace
+}  // namespace gcon

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/dpgcn.h"
+#include "baselines/dpsgd_gcn.h"
+#include "baselines/gap.h"
+#include "baselines/gcn.h"
+#include "baselines/lpgnet.h"
+#include "baselines/mlp_baseline.h"
+#include "baselines/progap.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+#include "rng/rng.h"
+
+namespace gcon {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  Split split;
+};
+
+Fixture MakeFixture(std::uint64_t seed) {
+  const DatasetSpec spec = TinySpec();
+  Rng rng(seed);
+  Fixture f{GenerateDataset(spec, &rng), {}};
+  f.split = MakeSplit(spec, f.graph, &rng);
+  return f;
+}
+
+double TestF1(const Fixture& f, const Matrix& logits) {
+  return MicroF1FromLogits(logits, f.graph.labels(), f.split.test,
+                           f.graph.num_classes());
+}
+
+double Chance(const Fixture& f) { return 1.0 / f.graph.num_classes(); }
+
+TEST(SymNorm, RowAndColumnScaling) {
+  Graph g(3, 2);
+  g.AddEdge(0, 1);
+  const CsrMatrix a = SymmetricNormalizedAdjacency(g);
+  // Node 0: degree 1 -> Â_00 = 1/2, Â_01 = 1/2 (both endpoints degree+1=2).
+  EXPECT_NEAR(a.At(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(a.At(0, 1), 0.5, 1e-12);
+  // Isolated node 2: Â_22 = 1.
+  EXPECT_NEAR(a.At(2, 2), 1.0, 1e-12);
+  // Symmetric.
+  EXPECT_NEAR(a.At(0, 1), a.At(1, 0), 1e-12);
+}
+
+TEST(GcnBaseline, LearnsHomophilousGraph) {
+  const Fixture f = MakeFixture(1);
+  GcnOptions options;
+  options.hidden = 16;
+  options.epochs = 150;
+  options.seed = 2;
+  const Matrix logits = TrainGcnAndPredict(f.graph, f.split, options);
+  EXPECT_EQ(logits.rows(), static_cast<std::size_t>(f.graph.num_nodes()));
+  // Non-private GCN on an easy homophilous graph should do well.
+  EXPECT_GT(TestF1(f, logits), 2.0 * Chance(f));
+}
+
+TEST(GcnBaseline, DeterministicGivenSeed) {
+  const Fixture f = MakeFixture(2);
+  GcnOptions options;
+  options.hidden = 8;
+  options.epochs = 50;
+  options.seed = 7;
+  const Matrix a = TrainGcnAndPredict(f.graph, f.split, options);
+  const Matrix b = TrainGcnAndPredict(f.graph, f.split, options);
+  EXPECT_TRUE(a.AllClose(b, 1e-12));
+}
+
+TEST(MlpBaseline, BeatsChanceOnInformativeFeatures) {
+  const Fixture f = MakeFixture(3);
+  MlpBaselineOptions options;
+  options.hidden = 16;
+  options.epochs = 150;
+  options.seed = 4;
+  const Matrix logits = TrainMlpAndPredict(f.graph, f.split, options);
+  EXPECT_GT(TestF1(f, logits), 1.5 * Chance(f));
+}
+
+TEST(Dpgcn, RunsAndProducesFiniteLogits) {
+  const Fixture f = MakeFixture(4);
+  DpgcnOptions options;
+  options.gcn.hidden = 16;
+  options.gcn.epochs = 100;
+  options.gcn.seed = 5;
+  const Matrix logits = TrainDpgcnAndPredict(f.graph, f.split, 1.0, options);
+  EXPECT_EQ(logits.rows(), static_cast<std::size_t>(f.graph.num_nodes()));
+  for (std::size_t k = 0; k < logits.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(logits.data()[k]));
+  }
+}
+
+TEST(Dpgcn, HighBudgetApproachesNonPrivateGcn) {
+  const Fixture f = MakeFixture(5);
+  GcnOptions gcn_options;
+  gcn_options.hidden = 16;
+  gcn_options.epochs = 150;
+  gcn_options.seed = 6;
+  const double f1_clean =
+      TestF1(f, TrainGcnAndPredict(f.graph, f.split, gcn_options));
+  DpgcnOptions options;
+  options.gcn = gcn_options;
+  // At eps = 50 LapGraph keeps essentially every edge.
+  const double f1_dp =
+      TestF1(f, TrainDpgcnAndPredict(f.graph, f.split, 50.0, options));
+  EXPECT_GT(f1_dp, f1_clean - 0.12);
+}
+
+TEST(Gap, RunsAtTightAndLooseBudgets) {
+  const Fixture f = MakeFixture(6);
+  GapOptions options;
+  options.hops = 2;
+  options.encoder_hidden = 16;
+  options.encoder_dim = 8;
+  options.encoder_epochs = 80;
+  options.head_epochs = 120;
+  options.seed = 7;
+  for (double eps : {0.5, 4.0}) {
+    const Matrix logits =
+        TrainGapAndPredict(f.graph, f.split, eps, 1e-4, options);
+    EXPECT_EQ(logits.rows(), static_cast<std::size_t>(f.graph.num_nodes()));
+    EXPECT_GT(TestF1(f, logits), 0.8 * Chance(f));
+  }
+}
+
+TEST(Gap, ZeroHopsEqualsEdgeFreeModel) {
+  // With K = 0 GAP touches no edges, so epsilon is irrelevant and utility
+  // should match an MLP-like model.
+  const Fixture f = MakeFixture(7);
+  GapOptions options;
+  options.hops = 0;
+  options.encoder_hidden = 16;
+  options.encoder_dim = 8;
+  options.encoder_epochs = 100;
+  options.head_epochs = 120;
+  options.seed = 8;
+  const Matrix logits =
+      TrainGapAndPredict(f.graph, f.split, 0.1, 1e-4, options);
+  EXPECT_GT(TestF1(f, logits), 1.2 * Chance(f));
+}
+
+TEST(Progap, RunsAndBeatsChanceAtLooseBudget) {
+  const Fixture f = MakeFixture(8);
+  ProgapOptions options;
+  options.stages = 2;
+  options.hidden = 16;
+  options.dim = 8;
+  options.stage_epochs = 80;
+  options.seed = 9;
+  const Matrix logits =
+      TrainProgapAndPredict(f.graph, f.split, 4.0, 1e-4, options);
+  EXPECT_GT(TestF1(f, logits), 1.2 * Chance(f));
+}
+
+TEST(Lpgnet, RunsAndBeatsChance) {
+  const Fixture f = MakeFixture(9);
+  LpgnetOptions options;
+  options.stacks = 2;
+  options.hidden = 16;
+  options.epochs = 120;
+  options.seed = 10;
+  const Matrix logits = TrainLpgnetAndPredict(f.graph, f.split, 2.0, options);
+  EXPECT_GT(TestF1(f, logits), 1.2 * Chance(f));
+}
+
+TEST(Lpgnet, ZeroStacksIsPureMlp) {
+  const Fixture f = MakeFixture(10);
+  LpgnetOptions options;
+  options.stacks = 0;
+  options.hidden = 16;
+  options.epochs = 120;
+  options.seed = 11;
+  const Matrix logits = TrainLpgnetAndPredict(f.graph, f.split, 1.0, options);
+  EXPECT_GT(TestF1(f, logits), 1.2 * Chance(f));
+}
+
+TEST(DpsgdGcn, RunsAndStaysFinite) {
+  const Fixture f = MakeFixture(11);
+  DpsgdOptions options;
+  options.steps = 150;
+  options.sample_rate = 0.5;
+  options.seed = 12;
+  const Matrix logits =
+      TrainDpsgdGcnAndPredict(f.graph, f.split, 2.0, 1e-4, options);
+  EXPECT_EQ(logits.rows(), static_cast<std::size_t>(f.graph.num_nodes()));
+  for (std::size_t k = 0; k < logits.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(logits.data()[k]));
+  }
+}
+
+TEST(DpsgdGcn, LooseBudgetBeatsChance) {
+  const Fixture f = MakeFixture(12);
+  DpsgdOptions options;
+  options.steps = 300;
+  options.sample_rate = 0.5;
+  options.learning_rate = 0.1;
+  options.seed = 13;
+  const Matrix logits =
+      TrainDpsgdGcnAndPredict(f.graph, f.split, 8.0, 1e-4, options);
+  EXPECT_GT(TestF1(f, logits), 1.2 * Chance(f));
+}
+
+}  // namespace
+}  // namespace gcon

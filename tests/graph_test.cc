@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/splits.h"
+#include "graph/stats.h"
+#include "rng/rng.h"
+
+namespace gcon {
+namespace {
+
+Graph TriangleGraph() {
+  Graph g(4, 2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.set_label(0, 0);
+  g.set_label(1, 0);
+  g.set_label(2, 1);
+  g.set_label(3, 1);
+  Matrix x(4, 2);
+  x(0, 0) = 1.0;
+  x(1, 0) = 1.0;
+  x(2, 1) = 1.0;
+  x(3, 1) = 1.0;
+  g.set_features(std::move(x));
+  return g;
+}
+
+TEST(Graph, AddRemoveEdge) {
+  Graph g(5, 2);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));  // duplicate
+  EXPECT_FALSE(g.AddEdge(1, 0));  // same undirected edge
+  EXPECT_FALSE(g.AddEdge(2, 2));  // self loop rejected
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.RemoveEdge(1, 0));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));  // already gone
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, DegreesAndNeighbors) {
+  const Graph g = TriangleGraph();
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(3), 0);
+  const auto& nbrs = g.Neighbors(1);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 2);
+}
+
+TEST(Graph, EdgeListCanonical) {
+  const Graph g = TriangleGraph();
+  const auto edges = g.EdgeList();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) {
+    EXPECT_LT(u, v);
+  }
+}
+
+TEST(Graph, OneHotLabels) {
+  const Graph g = TriangleGraph();
+  const Matrix y = g.OneHotLabels();
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_DOUBLE_EQ(y(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y(2, 1), 1.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(y(i, 0) + y(i, 1), 1.0);
+  }
+}
+
+TEST(Graph, AdjacencyCsrSymmetricNoSelfLoops) {
+  const Graph g = TriangleGraph();
+  const CsrMatrix a = g.AdjacencyCsr();
+  EXPECT_EQ(a.nnz(), 6u);  // 3 undirected edges = 6 entries
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a.At(static_cast<std::size_t>(i),
+                          static_cast<std::size_t>(i)),
+                     0.0);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(a.At(static_cast<std::size_t>(i),
+                            static_cast<std::size_t>(j)),
+                       a.At(static_cast<std::size_t>(j),
+                            static_cast<std::size_t>(i)));
+    }
+  }
+}
+
+TEST(Graph, CheckConsistencyPasses) {
+  const Graph g = TriangleGraph();
+  g.CheckConsistency();  // aborts on violation
+}
+
+TEST(Stats, HomophilyRatio) {
+  // Triangle 0-1-2 with labels {0,0,1}: node 0 has neighbors {1 (same), 2
+  // (diff)} -> 1/2; node 1 likewise 1/2; node 2 has {0,1} both diff -> 0.
+  // Node 3 is isolated and skipped. Mean = (0.5+0.5+0)/3.
+  const Graph g = TriangleGraph();
+  EXPECT_NEAR(HomophilyRatio(g), (0.5 + 0.5 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(Stats, DegreeStats) {
+  const Graph g = TriangleGraph();
+  EXPECT_EQ(MaxDegree(g), 2);
+  EXPECT_DOUBLE_EQ(MeanDegree(g), 2.0 * 3.0 / 4.0);
+  EXPECT_EQ(IsolatedCount(g), 1);
+}
+
+TEST(Stats, ClassFraction) {
+  const Graph g = TriangleGraph();
+  EXPECT_DOUBLE_EQ(ClassFraction(g, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ClassFraction(g, 1), 0.5);
+}
+
+TEST(Io, SaveLoadRoundTrip) {
+  const Graph g = TriangleGraph();
+  const std::string path = "/tmp/gcon_io_test_graph.txt";
+  SaveGraph(g, path);
+  const Graph loaded = LoadGraph(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.num_classes(), g.num_classes());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(loaded.label(v), g.label(v));
+  }
+  EXPECT_TRUE(loaded.features().AllClose(g.features()));
+  EXPECT_TRUE(loaded.HasEdge(0, 1));
+  EXPECT_TRUE(loaded.HasEdge(0, 2));
+  EXPECT_FALSE(loaded.HasEdge(0, 3));
+}
+
+TEST(Splits, PlanetoidPerClassCounts) {
+  Rng rng(1);
+  Graph g(100, 4);
+  for (int v = 0; v < 100; ++v) g.set_label(v, v % 4);
+  const Split split = PlanetoidSplit(g, 5, 20, 40, &rng);
+  EXPECT_EQ(split.train.size(), 20u);  // 5 per class x 4
+  EXPECT_EQ(split.val.size(), 20u);
+  EXPECT_EQ(split.test.size(), 40u);
+  std::vector<int> per_class(4, 0);
+  for (int v : split.train) ++per_class[static_cast<std::size_t>(g.label(v))];
+  for (int c : per_class) EXPECT_EQ(c, 5);
+}
+
+TEST(Splits, PlanetoidClampsOversizedRequests) {
+  Rng rng(2);
+  Graph g(30, 3);
+  for (int v = 0; v < 30; ++v) g.set_label(v, v % 3);
+  const Split split = PlanetoidSplit(g, 5, 1000, 1000, &rng);
+  EXPECT_EQ(split.train.size(), 15u);
+  EXPECT_EQ(split.val.size(), 15u);  // remainder goes to val first
+  EXPECT_TRUE(split.test.empty());
+}
+
+TEST(Splits, SplitsAreDisjoint) {
+  Rng rng(3);
+  Graph g(200, 5);
+  for (int v = 0; v < 200; ++v) g.set_label(v, v % 5);
+  const Split split = PlanetoidSplit(g, 10, 50, 80, &rng);
+  std::vector<bool> seen(200, false);
+  for (const auto* part : {&split.train, &split.val, &split.test}) {
+    for (int v : *part) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(v)]) << "node " << v;
+      seen[static_cast<std::size_t>(v)] = true;
+    }
+  }
+}
+
+TEST(Splits, ProportionalSizes) {
+  Rng rng(4);
+  Graph g(100, 2);
+  const Split split = ProportionalSplit(g, 0.6, 0.2, 0.2, &rng);
+  EXPECT_EQ(split.train.size(), 60u);
+  EXPECT_EQ(split.val.size(), 20u);
+  EXPECT_EQ(split.test.size(), 20u);
+}
+
+TEST(Splits, DifferentSeedsDifferentSplits) {
+  Graph g(100, 2);
+  Rng rng_a(5), rng_b(6);
+  const Split a = ProportionalSplit(g, 0.5, 0.2, 0.3, &rng_a);
+  const Split b = ProportionalSplit(g, 0.5, 0.2, 0.3, &rng_b);
+  EXPECT_NE(a.train, b.train);
+}
+
+}  // namespace
+}  // namespace gcon

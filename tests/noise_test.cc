@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/noise.h"
+#include "linalg/ops.h"
+
+namespace gcon {
+namespace {
+
+TEST(Noise, VectorHasErlangRadius) {
+  // ||b|| ~ Erlang(d, beta): mean d/beta, variance d/beta².
+  const int d = 24;
+  const double beta = 3.0;
+  Rng rng(1);
+  const int n = 40000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto b = SampleNoiseVector(d, beta, &rng);
+    const double r = Norm2(b);
+    sum += r;
+    sq += r * r;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, d / beta, 0.05 * d / beta);
+  EXPECT_NEAR(var, d / (beta * beta), 0.15 * d / (beta * beta));
+}
+
+TEST(Noise, DirectionIsIsotropic) {
+  const int d = 6;
+  Rng rng(2);
+  const int n = 30000;
+  std::vector<double> mean(static_cast<std::size_t>(d), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const auto b = SampleNoiseVector(d, 1.0, &rng);
+    const double r = Norm2(b);
+    for (int j = 0; j < d; ++j) {
+      mean[static_cast<std::size_t>(j)] += b[static_cast<std::size_t>(j)] / r;
+    }
+  }
+  for (int j = 0; j < d; ++j) {
+    EXPECT_NEAR(mean[static_cast<std::size_t>(j)] / n, 0.0, 0.015);
+  }
+}
+
+TEST(Noise, DensityDependsOnlyOnNorm) {
+  // The construction (uniform direction x Erlang radius) guarantees the
+  // density is a function of ||b|| alone; check rotational symmetry via the
+  // first-coordinate distribution matching the last-coordinate distribution.
+  const int d = 4;
+  Rng rng(3);
+  const int n = 40000;
+  double first_abs = 0.0, last_abs = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto b = SampleNoiseVector(d, 2.0, &rng);
+    first_abs += std::abs(b[0]);
+    last_abs += std::abs(b[3]);
+  }
+  EXPECT_NEAR(first_abs / n, last_abs / n, 0.03);
+}
+
+TEST(Noise, MatrixShapeAndColumnIndependence) {
+  Rng rng(4);
+  const Matrix b = SampleNoiseMatrix(10, 3, 1.5, &rng);
+  EXPECT_EQ(b.rows(), 10u);
+  EXPECT_EQ(b.cols(), 3u);
+  // Columns are distinct draws (all-equal columns would indicate reuse).
+  bool all_same = true;
+  for (std::size_t i = 0; i < 10 && all_same; ++i) {
+    if (std::abs(b(i, 0) - b(i, 1)) > 1e-12) all_same = false;
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Noise, ZeroBetaGivesZeroMatrix) {
+  Rng rng(5);
+  const Matrix b = SampleNoiseMatrix(8, 2, 0.0, &rng);
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(b), 0.0);
+}
+
+TEST(Noise, LargerBetaMeansSmallerNoise) {
+  Rng rng_a(6), rng_b(6);
+  const int trials = 2000;
+  double small_beta_norm = 0.0, large_beta_norm = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    small_beta_norm += Norm2(SampleNoiseVector(16, 0.5, &rng_a));
+    large_beta_norm += Norm2(SampleNoiseVector(16, 5.0, &rng_b));
+  }
+  EXPECT_GT(small_beta_norm, 5.0 * large_beta_norm);
+}
+
+TEST(Noise, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const Matrix ma = SampleNoiseMatrix(12, 4, 2.0, &a);
+  const Matrix mb = SampleNoiseMatrix(12, 4, 2.0, &b);
+  EXPECT_TRUE(ma.AllClose(mb));
+}
+
+}  // namespace
+}  // namespace gcon

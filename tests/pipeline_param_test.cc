@@ -1,0 +1,140 @@
+// Parameterized end-to-end sweep: every combination of loss family,
+// propagation-step set, restart probability, and train-set expansion must
+// produce a finite model that satisfies the Lemma 9 norm bound and beats
+// chance at a generous budget. This guards the whole Algorithm 1 pipeline
+// against configuration-dependent regressions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gcon.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+#include "propagation/appr.h"
+#include "rng/rng.h"
+
+namespace gcon {
+namespace {
+
+struct PipelineCase {
+  ConvexLossKind loss;
+  std::vector<int> steps;
+  double alpha;
+  bool expand;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PipelineCase>& info) {
+  const PipelineCase& c = info.param;
+  std::string name = c.loss == ConvexLossKind::kMultiLabelSoftMargin
+                         ? "msm"
+                         : "huber";
+  name += "_s";
+  for (int m : c.steps) {
+    name += m == kInfiniteSteps ? "inf" : std::to_string(m);
+  }
+  name += "_a" + std::to_string(static_cast<int>(c.alpha * 10));
+  name += c.expand ? "_expand" : "_n0";
+  return name;
+}
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase> {
+ protected:
+  static GconConfig MakeConfig(const PipelineCase& c) {
+    GconConfig config;
+    config.loss_kind = c.loss;
+    config.pseudo_huber_delta = 0.2;
+    config.steps = c.steps;
+    config.alpha = c.alpha;
+    config.expand_train_set = c.expand;
+    config.encoder.hidden = 16;
+    config.encoder.out_dim = 8;
+    config.encoder.epochs = 100;
+    config.minimize.minimizer = Minimizer::kLbfgs;
+    config.minimize.max_iterations = 300;
+    config.minimize.gradient_tolerance = 1e-9;
+    config.seed = 31;
+    return config;
+  }
+};
+
+TEST_P(PipelineSweep, TrainsWithinTheoremBounds) {
+  const PipelineCase c = GetParam();
+  const DatasetSpec spec = TinySpec();
+  Rng rng(41);
+  const Graph graph = GenerateDataset(spec, &rng);
+  const Split split = MakeSplit(spec, graph, &rng);
+  const GconConfig config = MakeConfig(c);
+  const GconPrepared prepared = PrepareGcon(graph, split, config);
+  const GconModel model = TrainPrepared(prepared, 8.0, 1e-4, 53);
+
+  // Finite parameters.
+  for (std::size_t k = 0; k < model.theta.size(); ++k) {
+    ASSERT_TRUE(std::isfinite(model.theta.data()[k]));
+  }
+  // Lemma 9 event: per-column norms within c_theta (huge margin expected).
+  if (!model.params.zero_noise) {
+    for (std::size_t j = 0; j < model.theta.cols(); ++j) {
+      double norm_sq = 0.0;
+      for (std::size_t i = 0; i < model.theta.rows(); ++i) {
+        norm_sq += model.theta(i, j) * model.theta(i, j);
+      }
+      EXPECT_LE(std::sqrt(norm_sq), model.params.c_theta + 1e-9);
+    }
+  }
+  // Utility at a loose budget beats chance on both inference paths.
+  const double chance = 1.0 / graph.num_classes();
+  const double f1_private = MicroF1FromLogits(
+      PrivateInference(prepared, model), graph.labels(), split.test,
+      graph.num_classes());
+  const double f1_public = MicroF1FromLogits(
+      PublicInference(prepared, model), graph.labels(), split.test,
+      graph.num_classes());
+  EXPECT_GT(f1_private, chance);
+  EXPECT_GT(f1_public, chance);
+  // Convergence actually reached.
+  EXPECT_LT(model.opt.gradient_norm, 1e-6);
+}
+
+TEST_P(PipelineSweep, ReproducibleGivenSeeds) {
+  const PipelineCase c = GetParam();
+  const DatasetSpec spec = TinySpec();
+  Rng rng_a(43), rng_b(43);
+  const Graph graph_a = GenerateDataset(spec, &rng_a);
+  const Graph graph_b = GenerateDataset(spec, &rng_b);
+  Rng split_a(44), split_b(44);
+  const Split sa = MakeSplit(spec, graph_a, &split_a);
+  const Split sb = MakeSplit(spec, graph_b, &split_b);
+  const GconConfig config = MakeConfig(c);
+  const GconModel ma =
+      TrainPrepared(PrepareGcon(graph_a, sa, config), 2.0, 1e-4, 59);
+  const GconModel mb =
+      TrainPrepared(PrepareGcon(graph_b, sb, config), 2.0, 1e-4, 59);
+  EXPECT_TRUE(ma.theta.AllClose(mb.theta, 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PipelineSweep,
+    ::testing::Values(
+        PipelineCase{ConvexLossKind::kMultiLabelSoftMargin, {1}, 0.6, false},
+        PipelineCase{ConvexLossKind::kMultiLabelSoftMargin, {2}, 0.8, true},
+        PipelineCase{ConvexLossKind::kMultiLabelSoftMargin, {0, 2}, 0.6, true},
+        PipelineCase{ConvexLossKind::kMultiLabelSoftMargin,
+                     {kInfiniteSteps},
+                     0.4,
+                     true},
+        PipelineCase{ConvexLossKind::kMultiLabelSoftMargin,
+                     {0, 1, kInfiniteSteps},
+                     0.5,
+                     false},
+        PipelineCase{ConvexLossKind::kPseudoHuber, {2}, 0.6, true},
+        PipelineCase{ConvexLossKind::kPseudoHuber, {1}, 0.8, false},
+        PipelineCase{ConvexLossKind::kPseudoHuber,
+                     {2, kInfiniteSteps},
+                     0.4,
+                     true},
+        PipelineCase{ConvexLossKind::kMultiLabelSoftMargin, {5}, 0.2, true},
+        PipelineCase{ConvexLossKind::kPseudoHuber, {0, 5}, 0.7, false}),
+    CaseName);
+
+}  // namespace
+}  // namespace gcon

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "rng/rng.h"
+
+namespace gcon {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  Rng a2(42);
+  EXPECT_NE(a2.NextUint64(), c.NextUint64());
+}
+
+TEST(Rng, NextDoubleRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRangeAndCoverage) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit in 1000 draws
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(3);
+  int count = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    count += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(count) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(4);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sq += (x - 3.0) * (x - 3.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+  EXPECT_NEAR(sq / n, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(6);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, LaplaceMomentsAndSymmetry) {
+  Rng rng(7);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  int negative = 0;
+  const double scale = 1.5;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Laplace(scale);
+    sum += x;
+    sq += x * x;
+    if (x < 0.0) ++negative;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 2.0 * scale * scale, 0.1);  // var = 2b²
+  EXPECT_NEAR(static_cast<double>(negative) / n, 0.5, 0.01);
+}
+
+TEST(Rng, GammaMoments) {
+  Rng rng(8);
+  const int n = 50000;
+  const double shape = 3.5, scale = 2.0;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gamma(shape, scale);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(sq / n - mean * mean, shape * scale * scale, 0.5);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(9);
+  const int n = 50000;
+  const double shape = 0.4, scale = 1.0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gamma(shape, scale);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, shape * scale, 0.02);
+}
+
+// Erlang(d, β) has mean d/β and variance d/β² — these are exactly the radius
+// moments Algorithm 2 relies on.
+class ErlangMoments : public ::testing::TestWithParam<std::tuple<int, double>> {
+};
+
+TEST_P(ErlangMoments, MeanAndVariance) {
+  const auto [shape, rate] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(shape * 1000) + 11);
+  const int n = 60000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Erlang(shape, rate);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  const double expected_mean = shape / rate;
+  const double expected_var = shape / (rate * rate);
+  EXPECT_NEAR(mean, expected_mean, 0.05 * expected_mean + 0.01);
+  EXPECT_NEAR(var, expected_var, 0.1 * expected_var + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndRates, ErlangMoments,
+    ::testing::Values(std::make_tuple(1, 1.0), std::make_tuple(4, 0.5),
+                      std::make_tuple(16, 2.0), std::make_tuple(40, 5.0),
+                      std::make_tuple(100, 0.2)));
+
+TEST(Rng, BinomialSmallN) {
+  Rng rng(12);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto x = rng.Binomial(10, 0.4);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 10);
+    sum += static_cast<double>(x);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(Rng, BinomialSmallMeanLargeN) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Binomial(1000000, 2e-5));  // mean 20
+  }
+  EXPECT_NEAR(sum / n, 20.0, 0.3);
+}
+
+TEST(Rng, BinomialNormalRegime) {
+  Rng rng(14);
+  const int n = 20000;
+  const std::int64_t trials = 10000;
+  const double p = 0.3;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.Binomial(trials, p));
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, static_cast<double>(trials));
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, trials * p, 5.0);
+  EXPECT_NEAR(sq / n - mean * mean, trials * p * (1 - p), 100.0);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(15);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.Binomial(100, 0.0), 0);
+  EXPECT_EQ(rng.Binomial(100, 1.0), 100);
+}
+
+TEST(Rng, SphereDirectionUnitNorm) {
+  Rng rng(16);
+  for (int d : {1, 2, 5, 20, 100}) {
+    const auto v = rng.SphereDirection(d);
+    ASSERT_EQ(v.size(), static_cast<std::size_t>(d));
+    double norm_sq = 0.0;
+    for (double x : v) norm_sq += x * x;
+    EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+  }
+}
+
+TEST(Rng, SphereDirectionIsotropy) {
+  Rng rng(17);
+  const int d = 8;
+  const int n = 20000;
+  std::vector<double> mean(d, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.SphereDirection(d);
+    for (int j = 0; j < d; ++j) mean[static_cast<std::size_t>(j)] += v[static_cast<std::size_t>(j)];
+  }
+  for (int j = 0; j < d; ++j) {
+    EXPECT_NEAR(mean[static_cast<std::size_t>(j)] / n, 0.0, 0.01);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(18);
+  const auto perm = rng.Permutation(100);
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(Rng, PermutationUniformFirstElement) {
+  Rng rng(19);
+  std::vector<int> count(5, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++count[static_cast<std::size_t>(rng.Permutation(5)[0])];
+  }
+  for (int c : count) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(20);
+  const auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 20u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(21);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<int> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+}  // namespace
+}  // namespace gcon

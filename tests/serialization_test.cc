@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/gcon.h"
+#include "core/model_io.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+#include "linalg/ops.h"
+#include "nn/mlp_io.h"
+#include "rng/rng.h"
+
+namespace gcon {
+namespace {
+
+TEST(MlpIo, RoundTripPreservesWeightsAndPredictions) {
+  MlpOptions options;
+  options.dims = {5, 7, 3};
+  options.hidden_activation = Activation::kTanh;
+  options.seed = 3;
+  Mlp original(options);
+
+  std::stringstream stream;
+  SaveMlp(original, &stream);
+  Mlp loaded = LoadMlp(&stream);
+
+  EXPECT_EQ(loaded.num_layers(), original.num_layers());
+  for (int l = 0; l < original.num_layers(); ++l) {
+    EXPECT_TRUE(loaded.weight(l).AllClose(original.weight(l), 1e-15));
+    EXPECT_TRUE(loaded.bias(l).AllClose(original.bias(l), 1e-15));
+  }
+  Rng rng(4);
+  Matrix x(6, 5);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    x.data()[k] = rng.Uniform(-1.0, 1.0);
+  }
+  EXPECT_TRUE(loaded.Forward(x).AllClose(original.Forward(x), 1e-12));
+}
+
+TEST(MlpIo, PreservesActivation) {
+  for (Activation act : {Activation::kRelu, Activation::kSigmoid,
+                         Activation::kIdentity}) {
+    MlpOptions options;
+    options.dims = {2, 3, 2};
+    options.hidden_activation = act;
+    Mlp original(options);
+    std::stringstream stream;
+    SaveMlp(original, &stream);
+    Mlp loaded = LoadMlp(&stream);
+    EXPECT_EQ(loaded.options().hidden_activation, act);
+  }
+}
+
+struct Trained {
+  Graph graph;
+  Split split;
+  GconPrepared prepared;
+  GconModel model;
+};
+
+Trained TrainSmall() {
+  const DatasetSpec spec = TinySpec();
+  Rng rng(9);
+  Graph graph = GenerateDataset(spec, &rng);
+  Split split = MakeSplit(spec, graph, &rng);
+  GconConfig config;
+  config.alpha = 0.7;
+  config.steps = {0, 2};
+  config.encoder.hidden = 16;
+  config.encoder.out_dim = 8;
+  config.encoder.epochs = 100;
+  config.minimize.max_iterations = 1200;
+  config.seed = 11;
+  GconPrepared prepared = PrepareGcon(graph, split, config);
+  GconModel model = TrainPrepared(prepared, 2.0, 1e-4, 13);
+  return Trained{std::move(graph), std::move(split), std::move(prepared),
+                 std::move(model)};
+}
+
+TEST(ModelIo, ArtifactInferMatchesPipelineInference) {
+  const Trained t = TrainSmall();
+  const GconArtifact artifact = MakeArtifact(t.prepared, t.model, 2.0, 1e-4);
+  const Matrix direct = PrivateInference(t.prepared, t.model);
+  const Matrix via_artifact = artifact.Infer(t.graph);
+  EXPECT_TRUE(via_artifact.AllClose(direct, 1e-9));
+}
+
+TEST(ModelIo, SaveLoadRoundTrip) {
+  const Trained t = TrainSmall();
+  const GconArtifact artifact = MakeArtifact(t.prepared, t.model, 2.0, 1e-4);
+  const std::string path = "/tmp/gcon_model_io_test.model";
+  SaveModel(artifact, path);
+  const GconArtifact loaded = LoadModel(path);
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(loaded.theta.AllClose(artifact.theta, 1e-12));
+  EXPECT_EQ(loaded.steps, artifact.steps);
+  EXPECT_DOUBLE_EQ(loaded.alpha, artifact.alpha);
+  EXPECT_DOUBLE_EQ(loaded.epsilon, 2.0);
+  EXPECT_DOUBLE_EQ(loaded.delta, 1e-4);
+  EXPECT_NEAR(loaded.params.beta, artifact.params.beta, 1e-12);
+
+  const Matrix before = artifact.Infer(t.graph);
+  const Matrix after = loaded.Infer(t.graph);
+  EXPECT_TRUE(after.AllClose(before, 1e-9));
+}
+
+TEST(ModelIo, LoadedModelServesNewGraph) {
+  const Trained t = TrainSmall();
+  const GconArtifact artifact = MakeArtifact(t.prepared, t.model, 2.0, 1e-4);
+  const std::string path = "/tmp/gcon_model_io_test2.model";
+  SaveModel(artifact, path);
+  const GconArtifact loaded = LoadModel(path);
+  std::remove(path.c_str());
+
+  Rng rng(77);
+  const Graph other = GenerateDataset(TinySpec(), &rng);
+  const Matrix logits = loaded.Infer(other);
+  EXPECT_EQ(logits.rows(), static_cast<std::size_t>(other.num_nodes()));
+  std::vector<int> all;
+  for (int v = 0; v < other.num_nodes(); ++v) all.push_back(v);
+  EXPECT_GT(MicroF1FromLogits(logits, other.labels(), all,
+                              other.num_classes()),
+            1.0 / other.num_classes());
+}
+
+TEST(ModelIo, HighPrecisionSurvivesRoundTrip) {
+  const Trained t = TrainSmall();
+  GconArtifact artifact = MakeArtifact(t.prepared, t.model, 2.0, 1e-4);
+  artifact.theta(0, 0) = 1.0 / 3.0;
+  artifact.theta(1, 0) = 1e-17;
+  artifact.theta(2, 0) = -123456.789012345678;
+  const std::string path = "/tmp/gcon_model_io_test3.model";
+  SaveModel(artifact, path);
+  const GconArtifact loaded = LoadModel(path);
+  std::remove(path.c_str());
+  EXPECT_DOUBLE_EQ(loaded.theta(0, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(loaded.theta(1, 0), 1e-17);
+  EXPECT_DOUBLE_EQ(loaded.theta(2, 0), -123456.789012345678);
+}
+
+}  // namespace
+}  // namespace gcon

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/incomplete_gamma.h"
+#include "core/theorem1.h"
+
+namespace gcon {
+namespace {
+
+PrivacyInputs DefaultInputs() {
+  PrivacyInputs in;
+  in.epsilon = 1.0;
+  in.delta = 1e-5;
+  in.omega = 0.9;
+  in.lambda = 0.2;
+  in.n1 = 500;
+  in.num_classes = 4;
+  in.dim = 32;
+  in.psi_z = 1.0;
+  return in;
+}
+
+TEST(IncompleteGamma, KnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(2, x) = 1 - e^{-x}(1 + x).
+  EXPECT_NEAR(RegularizedGammaP(2.0, 2.0), 1.0 - std::exp(-2.0) * 3.0, 1e-12);
+  // Boundaries.
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(5.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(5.0, 1000.0), 1.0, 1e-12);
+}
+
+TEST(IncompleteGamma, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 30.0; x += 0.5) {
+    const double p = RegularizedGammaP(7.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(IncompleteGamma, QuantileInvertsCdf) {
+  for (double a : {1.0, 4.0, 32.0, 200.0}) {
+    for (double prob : {0.1, 0.5, 0.9, 0.999, 1.0 - 1e-6}) {
+      const double u = GammaQuantile(a, prob);
+      EXPECT_NEAR(RegularizedGammaP(a, u), prob, 1e-8)
+          << "a=" << a << " prob=" << prob;
+    }
+  }
+}
+
+TEST(IncompleteGamma, CsfSolvesEq21) {
+  // c_sf is the minimal u with P(d, u) >= 1 - delta/c: the CDF at c_sf
+  // reaches the target and at 0.999*c_sf stays below it.
+  const int d = 48;
+  const double delta = 1e-4;
+  const int c = 6;
+  const double csf = ComputeCsf(d, delta, c);
+  const double target = 1.0 - delta / c;
+  EXPECT_GE(RegularizedGammaP(d, csf) + 1e-12, target);
+  EXPECT_LT(RegularizedGammaP(d, 0.999 * csf), target);
+}
+
+TEST(IncompleteGamma, CsfGrowsWithDimensionAndShrinkingDelta) {
+  EXPECT_GT(ComputeCsf(64, 1e-5, 4), ComputeCsf(16, 1e-5, 4));
+  EXPECT_GT(ComputeCsf(32, 1e-8, 4), ComputeCsf(32, 1e-3, 4));
+  // More classes -> smaller per-class delta -> larger quantile.
+  EXPECT_GT(ComputeCsf(32, 1e-5, 10), ComputeCsf(32, 1e-5, 2));
+}
+
+TEST(Theorem1, OutputsAreFiniteAndPositive) {
+  const PrivacyInputs in = DefaultInputs();
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(in.num_classes);
+  const PrivacyParams p = ComputePrivacyParams(in, loss);
+  EXPECT_FALSE(p.zero_noise);
+  EXPECT_GT(p.beta, 0.0);
+  EXPECT_TRUE(std::isfinite(p.beta));
+  EXPECT_GE(p.lambda_bar, in.lambda);
+  EXPECT_GE(p.lambda_prime, 0.0);
+  EXPECT_GT(p.c_theta, 0.0);
+  EXPECT_GT(p.c_sf, 0.0);
+  EXPECT_GE(p.eps_lambda, 0.0);
+  EXPECT_GT(p.lambda_total(), 0.0);
+}
+
+TEST(Theorem1, LossSupremaPropagate) {
+  const PrivacyInputs in = DefaultInputs();
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(in.num_classes);
+  const PrivacyParams p = ComputePrivacyParams(in, loss);
+  EXPECT_DOUBLE_EQ(p.c1, loss.c1());
+  EXPECT_DOUBLE_EQ(p.c2, loss.c2());
+  EXPECT_DOUBLE_EQ(p.c3, loss.c3());
+}
+
+TEST(Theorem1, BetaIncreasesWithEpsilon) {
+  // More budget -> larger beta -> smaller expected noise radius d/beta.
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(4);
+  double prev_beta = 0.0;
+  for (double eps : {0.5, 1.0, 2.0, 3.0, 4.0}) {
+    PrivacyInputs in = DefaultInputs();
+    in.epsilon = eps;
+    const PrivacyParams p = ComputePrivacyParams(in, loss);
+    EXPECT_GT(p.beta, prev_beta) << "eps=" << eps;
+    prev_beta = p.beta;
+  }
+}
+
+TEST(Theorem1, BetaDecreasesWithSensitivity) {
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(4);
+  double prev_beta = 1e300;
+  for (double psi : {0.5, 1.0, 2.0, 4.0}) {
+    PrivacyInputs in = DefaultInputs();
+    in.psi_z = psi;
+    const PrivacyParams p = ComputePrivacyParams(in, loss);
+    EXPECT_LT(p.beta, prev_beta) << "psi=" << psi;
+    prev_beta = p.beta;
+  }
+}
+
+TEST(Theorem1, MoreTrainingRowsLessRelativeNoise) {
+  // The linear term is B/n1; with beta roughly linear in n1 via c_theta,
+  // noise per-row shrinks. We check beta grows with n1.
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(4);
+  PrivacyInputs small = DefaultInputs();
+  small.n1 = 100;
+  PrivacyInputs large = DefaultInputs();
+  large.n1 = 5000;
+  EXPECT_GT(ComputePrivacyParams(large, loss).beta,
+            ComputePrivacyParams(small, loss).beta);
+}
+
+TEST(Theorem1, LambdaPrimeCaseSplit) {
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(4);
+  // Large dim + tiny epsilon forces eps_lambda > (1-omega) eps -> Λ' > 0.
+  PrivacyInputs tight = DefaultInputs();
+  tight.epsilon = 0.25;
+  tight.dim = 96;
+  tight.n1 = 120;
+  const PrivacyParams p_tight = ComputePrivacyParams(tight, loss);
+  EXPECT_GT(p_tight.eps_lambda, (1.0 - tight.omega) * tight.epsilon);
+  EXPECT_GT(p_tight.lambda_prime, 0.0);
+
+  // Huge lambda makes eps_lambda tiny -> Λ' = 0.
+  PrivacyInputs loose = DefaultInputs();
+  loose.lambda = 500.0;
+  loose.epsilon = 4.0;
+  const PrivacyParams p_loose = ComputePrivacyParams(loose, loss);
+  EXPECT_LE(p_loose.eps_lambda, (1.0 - loose.omega) * loose.epsilon);
+  EXPECT_DOUBLE_EQ(p_loose.lambda_prime, 0.0);
+}
+
+TEST(Theorem1, LambdaPrimeSatisfiesJacobianBudget) {
+  // When Λ' > 0, the defining identity of Eq. (17) must hold:
+  // c (2c2 + c3 cθ) Ψ / (n1 (Λ̄ + Λ')) <= (1-ω) ε, which is what makes the
+  // (log(1+x) <= x)-relaxed Jacobian cost fit in the reserved budget.
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(4);
+  PrivacyInputs in = DefaultInputs();
+  in.epsilon = 0.25;
+  in.dim = 96;
+  in.n1 = 120;
+  const PrivacyParams p = ComputePrivacyParams(in, loss);
+  ASSERT_GT(p.lambda_prime, 0.0);
+  const double c = in.num_classes;
+  const double relaxed_cost = c * (2.0 * p.c2 + p.c3 * p.c_theta) * in.psi_z /
+                              (in.n1 * p.lambda_total());
+  EXPECT_LE(relaxed_cost, (1.0 - in.omega) * in.epsilon + 1e-9);
+}
+
+TEST(Theorem1, NoiseBudgetIdentity) {
+  // Eq. (18): beta * c(c1 + c2 cθ) Ψ == max(ε - ε_Λ, ωε) exactly.
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(4);
+  const PrivacyInputs in = DefaultInputs();
+  const PrivacyParams p = ComputePrivacyParams(in, loss);
+  const double lhs =
+      p.beta * in.num_classes * (p.c1 + p.c2 * p.c_theta) * in.psi_z;
+  const double rhs = std::max(in.epsilon - p.eps_lambda,
+                              in.omega * in.epsilon);
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(Theorem1, ZeroSensitivityMeansZeroNoise) {
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(4);
+  PrivacyInputs in = DefaultInputs();
+  in.psi_z = 0.0;  // alpha = 1 or all steps zero
+  const PrivacyParams p = ComputePrivacyParams(in, loss);
+  EXPECT_TRUE(p.zero_noise);
+  EXPECT_DOUBLE_EQ(p.beta, 0.0);
+  EXPECT_DOUBLE_EQ(p.lambda_prime, 0.0);
+}
+
+TEST(Theorem1, PseudoHuberAlsoWorks) {
+  PrivacyInputs in = DefaultInputs();
+  const ConvexLoss loss = ConvexLoss::PseudoHuber(in.num_classes, 0.5);
+  const PrivacyParams p = ComputePrivacyParams(in, loss);
+  EXPECT_GT(p.beta, 0.0);
+  EXPECT_GT(p.c_theta, 0.0);
+}
+
+TEST(Theorem1, OmegaTradesBudget) {
+  // Larger omega reserves more budget for the linear noise term: with
+  // eps_lambda large (small lambda), beta should scale like omega*eps.
+  const ConvexLoss loss = ConvexLoss::MultiLabelSoftMargin(4);
+  PrivacyInputs in = DefaultInputs();
+  in.lambda = 0.01;
+  in.dim = 96;
+  PrivacyInputs in_low = in, in_high = in;
+  in_low.omega = 0.5;
+  in_high.omega = 0.95;
+  const double beta_low = ComputePrivacyParams(in_low, loss).beta;
+  const double beta_high = ComputePrivacyParams(in_high, loss).beta;
+  // Not a strict theorem, but for this configuration the noise budget is
+  // omega*eps in both cases, and c_theta shifts only mildly.
+  EXPECT_GT(beta_high, beta_low);
+}
+
+}  // namespace
+}  // namespace gcon
