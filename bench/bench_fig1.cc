@@ -6,6 +6,19 @@
 // GCON_BENCH_FULL=1 restores the paper scale). One table per dataset:
 // rows = eps, columns = methods — the same series Figure 1 plots.
 //
+// Every series comes from the ModelRegistry: the bench asks each
+// registered method whether it consumes the privacy budget (the MLP floor
+// and GCN ceiling do not, so they run once per seed) and otherwise loops
+// RunMethodRepeated over the epsilon grid. Adding a ninth method to the
+// registry adds its column here without touching this file.
+//
+// Cost note vs the pre-registry bench: each (method, eps) point regenerates
+// its dataset (same seeds, so identical graphs) and the gcon adapter
+// retrains its eps-independent encoder per eps point instead of once per
+// run. The encoder is still shared across the alpha_grid search — the
+// dominant inner loop — and the uniform harness is what lets a new method
+// join without code here; revisit if paper-scale wall-clock matters.
+//
 // Expected shape (paper): GCON > {GAP, ProGAP, LPGNet, DPGCN, DP-SGD} at
 // every eps, with the margin largest at small eps; MLP is a flat
 // eps-independent floor; GCN (non-DP) a flat ceiling; on Actor
@@ -13,30 +26,21 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
-#include "baselines/dpgcn.h"
-#include "baselines/dpsgd_gcn.h"
-#include "baselines/gap.h"
-#include "baselines/gcn.h"
-#include "baselines/lpgnet.h"
-#include "baselines/mlp_baseline.h"
-#include "baselines/progap.h"
 #include "bench_util.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/timer.h"
-#include "core/gcon.h"
 #include "eval/experiment.h"
+#include "model/adapters.h"
 
 namespace gcon {
 namespace bench {
 namespace {
 
 const std::vector<double> kEpsilons = {0.5, 1.0, 2.0, 3.0, 4.0};
-const std::vector<std::string> kMethods = {"GCON",   "DP-SGD", "DPGCN",
-                                           "LPGNet", "GAP",    "ProGAP",
-                                           "MLP",    "GCN"};
 
 std::vector<std::string> DatasetsToRun() {
   const char* env = std::getenv("GCON_BENCH_DATASETS");
@@ -48,104 +52,43 @@ std::vector<std::string> DatasetsToRun() {
 
 void RunDataset(const std::string& name, const BenchSettings& settings) {
   Timer timer;
+  const DatasetSpec spec = Scaled(SpecByName(name), settings.scale);
+  const std::uint64_t base_seed = 1000;
+
   // scores[eps][method] -> per-run F1 values.
   std::map<double, std::map<std::string, std::vector<double>>> scores;
 
-  for (int run = 0; run < settings.runs; ++run) {
-    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(run);
-    const BenchData data = LoadBenchData(name, settings.scale, seed);
-
-    // eps-independent methods: once per run.
-    {
-      MlpBaselineOptions options;
-      options.hidden = 32;
-      options.epochs = 150;
-      options.seed = seed;
-      const double f1 =
-          TestMicroF1(data, TrainMlpAndPredict(data.graph, data.split, options));
-      for (double eps : kEpsilons) scores[eps]["MLP"].push_back(f1);
+  for (const std::string& method : PaperMethodOrder()) {
+    const ModelConfig base = MethodBenchConfig(method, name);
+    const bool swept =
+        BuiltinModelRegistry().Create(method, base)->UsesPrivacyBudget();
+    if (!swept) {
+      // eps-independent floor/ceiling: one summary, replicated per row.
+      const MethodRunSummary summary =
+          RunMethodRepeated(method, base, spec, settings.runs, base_seed);
+      for (double eps : kEpsilons) {
+        for (const TrainResult& run : summary.runs) {
+          scores[eps][method].push_back(run.test_micro_f1);
+        }
+      }
+      continue;
     }
-    {
-      GcnOptions options;
-      options.hidden = 32;
-      options.epochs = 150;
-      options.seed = seed;
-      const double f1 =
-          TestMicroF1(data, TrainGcnAndPredict(data.graph, data.split, options));
-      for (double eps : kEpsilons) scores[eps]["GCN"].push_back(f1);
-    }
-
-    // GCON: the encoder is eps-independent — train it once per run, then
-    // per eps select the restart probability on the validation split (the
-    // paper tunes hyperparameters per setting, Appendix Q).
-    GconConfig config = DefaultGconConfig(seed);
-    if (name == "actor") {
-      // Appendix Q: multi-step concatenation on the heterophilous graph.
-      config.steps = {0, 2};
-    }
-    EncoderOptions encoder_options = config.encoder;
-    encoder_options.seed = seed;
-    const EncodedFeatures encoded =
-        TrainEncoder(data.graph, data.split, encoder_options);
-    const std::vector<double> alpha_grid = {0.4, 0.6, 0.8, 0.95};
-
     for (double eps : kEpsilons) {
-      const std::uint64_t eps_seed =
-          seed * 31 + static_cast<std::uint64_t>(eps * 100);
-      scores[eps]["GCON"].push_back(TestMicroF1(
-          data, TrainGconSelectAlpha(data, encoded, config, alpha_grid, eps,
-                                     eps_seed)));
-      {
-        DpsgdOptions options;
-        options.steps = 200;
-        options.sample_rate = 0.3;
-        options.seed = eps_seed;
-        scores[eps]["DP-SGD"].push_back(TestMicroF1(
-            data, TrainDpsgdGcnAndPredict(data.graph, data.split, eps,
-                                          data.delta, options)));
-      }
-      {
-        DpgcnOptions options;
-        options.gcn.hidden = 32;
-        options.gcn.epochs = 150;
-        options.gcn.seed = eps_seed;
-        scores[eps]["DPGCN"].push_back(TestMicroF1(
-            data, TrainDpgcnAndPredict(data.graph, data.split, eps, options)));
-      }
-      {
-        LpgnetOptions options;
-        options.hidden = 32;
-        options.epochs = 150;
-        options.seed = eps_seed;
-        scores[eps]["LPGNet"].push_back(TestMicroF1(
-            data, TrainLpgnetAndPredict(data.graph, data.split, eps, options)));
-      }
-      {
-        GapOptions options;
-        options.encoder_hidden = 32;
-        options.encoder_dim = 16;
-        options.seed = eps_seed;
-        scores[eps]["GAP"].push_back(TestMicroF1(
-            data, TrainGapAndPredict(data.graph, data.split, eps, data.delta,
-                                     options)));
-      }
-      {
-        ProgapOptions options;
-        options.hidden = 32;
-        options.dim = 16;
-        options.seed = eps_seed;
-        scores[eps]["ProGAP"].push_back(TestMicroF1(
-            data, TrainProgapAndPredict(data.graph, data.split, eps,
-                                        data.delta, options)));
+      ModelConfig config = base;
+      config.Set("epsilon", FormatDouble(eps, 6));
+      const MethodRunSummary summary =
+          RunMethodRepeated(method, config, spec, settings.runs, base_seed);
+      for (const TrainResult& run : summary.runs) {
+        scores[eps][method].push_back(run.test_micro_f1);
       }
     }
   }
 
   SeriesTable table("Figure 1 (" + name + "): micro-F1 vs epsilon", "eps",
-                    kMethods);
+                    PaperMethodOrder());
   for (double eps : kEpsilons) {
     std::vector<double> means, stds;
-    for (const auto& method : kMethods) {
+    for (const std::string& method : PaperMethodOrder()) {
       const RunStats stats = Summarize(scores[eps][method]);
       means.push_back(stats.mean);
       stds.push_back(stats.stddev);

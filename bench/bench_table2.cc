@@ -2,15 +2,29 @@
 // datasets — vertices, edges (directed count, as the paper reports),
 // features, classes, homophily ratio — plus generator-quality diagnostics
 // (mean/max degree, isolated nodes).
+//
+// A second table gives the Table III-style utility snapshot: test micro-F1
+// of every method registered in the ModelRegistry at eps = 1 (the paper's
+// headline budget), one row per dataset. The method columns come straight
+// from the registry — no per-method dispatch here; a ninth registered
+// method gains a column automatically. Skip it with GCON_BENCH_STATS_ONLY=1
+// when only the dataset statistics are wanted.
 #include <iomanip>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "eval/experiment.h"
 #include "graph/stats.h"
+#include "model/adapters.h"
 #include "rng/rng.h"
 
-int main() {
-  const gcon::bench::BenchSettings settings = gcon::bench::ReadSettings();
+namespace {
+
+void PrintDatasetStats(const gcon::bench::BenchSettings& settings) {
   std::cout << "=== Table II: dataset statistics (scale " << settings.scale
             << ") ===\n";
   std::cout << std::left << std::setw(10) << "dataset" << std::setw(10)
@@ -37,6 +51,48 @@ int main() {
   std::cout << "\nPaper values (scale 1.0): Cora-ML 2995/16316/2879/7/0.81, "
                "CiteSeer 3327/9104/3703/6/0.71,\nPubMed 19717/88648/500/3/"
                "0.79, Actor 7600/30019/932/5/0.22. Run with GCON_BENCH_FULL=1\n"
-               "to generate at paper scale.\n";
+               "to generate at paper scale.\n\n";
+}
+
+void PrintUtilitySnapshot(const gcon::bench::BenchSettings& settings) {
+  const double eps = 1.0;
+  // Column per registered method, paper order first, any extras appended.
+  std::vector<std::string> methods = gcon::bench::PaperMethodOrder();
+  for (const std::string& name : gcon::BuiltinModelRegistry().Names()) {
+    bool known = false;
+    for (const std::string& m : methods) known = known || m == name;
+    if (!known) methods.push_back(name);
+  }
+
+  gcon::SeriesTable table("Table III snapshot: test micro-F1 at eps=" +
+                              gcon::FormatDouble(eps, 1) + " (scale " +
+                              gcon::FormatDouble(settings.scale, 2) + ")",
+                          "dataset", methods);
+  for (const gcon::DatasetSpec& base : gcon::PaperSpecs()) {
+    const gcon::DatasetSpec spec = gcon::Scaled(base, settings.scale);
+    std::vector<double> means, stds;
+    for (const std::string& method : methods) {
+      gcon::ModelConfig config =
+          gcon::bench::MethodBenchConfig(method, base.name);
+      config.Set("epsilon", gcon::FormatDouble(eps, 6));
+      const gcon::MethodRunSummary summary = gcon::RunMethodRepeated(
+          method, config, spec, settings.runs, /*base_seed=*/4242);
+      means.push_back(summary.test_micro_f1.mean);
+      stds.push_back(summary.test_micro_f1.stddev);
+    }
+    table.AddRow(base.name, means, stds);
+  }
+  table.Print(std::cout);
+  if (gcon::EnvBool("GCON_BENCH_CSV", false)) table.PrintCsv(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const gcon::bench::BenchSettings settings = gcon::bench::ReadSettings();
+  PrintDatasetStats(settings);
+  if (!gcon::EnvBool("GCON_BENCH_STATS_ONLY", false)) {
+    PrintUtilitySnapshot(settings);
+  }
   return 0;
 }

@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/gcon.h"
 #include "graph/datasets.h"
 #include "graph/splits.h"
+#include "model/model.h"
 
 namespace gcon {
 namespace bench {
@@ -49,6 +51,17 @@ BenchData LoadBenchData(const std::string& name, double scale,
 /// GCON configuration used across benches (per-dataset tweaks applied by
 /// the individual binaries on top).
 GconConfig DefaultGconConfig(std::uint64_t seed);
+
+/// The methods of Figure 1 / Table III in the paper's column order. All are
+/// registered in the ModelRegistry (model/adapters.h).
+const std::vector<std::string>& PaperMethodOrder();
+
+/// Bench-scale ModelConfig overrides for a registered method on `dataset`
+/// (shorter epochs, the paper's per-dataset GCON tweaks, the Appendix Q
+/// alpha grid). Pure data — the registry does the dispatch. Budget keys
+/// (epsilon) are left to the caller; delta stays on the auto rule.
+ModelConfig MethodBenchConfig(const std::string& method,
+                              const std::string& dataset);
 
 /// Micro-F1 on the bench's test split.
 double TestMicroF1(const BenchData& data, const Matrix& logits);

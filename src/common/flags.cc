@@ -47,6 +47,7 @@ Flags::Flags(int argc, char** argv,
       std::exit(2);
     }
     values_[name] = value;
+    all_values_[name].push_back(value);
   }
 }
 
@@ -70,6 +71,11 @@ double Flags::GetDouble(const std::string& name, double default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   return std::stod(it->second);
+}
+
+std::vector<std::string> Flags::GetList(const std::string& name) const {
+  auto it = all_values_.find(name);
+  return it == all_values_.end() ? std::vector<std::string>() : it->second;
 }
 
 bool Flags::GetBool(const std::string& name, bool default_value) const {

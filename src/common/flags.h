@@ -29,6 +29,11 @@ class Flags {
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
 
+  /// Every value given for a repeatable flag, in command-line order
+  /// ("--set a=1 --set b=2" -> {"a=1", "b=2"}); empty when absent. The
+  /// scalar accessors above return the last occurrence.
+  std::vector<std::string> GetList(const std::string& name) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Renders the usage string from the spec given to the constructor.
@@ -38,6 +43,7 @@ class Flags {
   std::string program_;
   std::map<std::string, std::string> spec_;
   std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> all_values_;
   std::vector<std::string> positional_;
 };
 

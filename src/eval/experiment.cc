@@ -2,9 +2,12 @@
 
 #include <cmath>
 #include <iomanip>
+#include <memory>
 #include <ostream>
 
 #include "common/check.h"
+#include "model/adapters.h"
+#include "rng/rng.h"
 
 namespace gcon {
 
@@ -24,6 +27,41 @@ RunStats Summarize(const std::vector<double>& values) {
     stats.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
   }
   return stats;
+}
+
+MethodRunSummary RunMethodRepeated(const std::string& method,
+                                   const ModelConfig& config,
+                                   const DatasetSpec& spec, int runs,
+                                   std::uint64_t base_seed) {
+  GCON_CHECK_GT(runs, 0) << "RunMethodRepeated needs at least one run";
+  MethodRunSummary summary;
+  summary.method = method;
+  std::vector<double> micro, macro, seconds;
+  for (int r = 0; r < runs; ++r) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(r);
+    Rng rng(seed);
+    const Graph graph = GenerateDataset(spec, &rng);
+    const Split split = MakeSplit(spec, graph, &rng);
+    ModelConfig run_config = config;
+    // A caller-pinned "seed" wins (e.g. `--set seed=N`); otherwise each run
+    // gets its own model seed alongside its own data draw.
+    if (!run_config.Has("seed")) {
+      run_config.Set("seed", std::to_string(seed));
+    }
+    std::unique_ptr<GraphModel> model =
+        BuiltinModelRegistry().Create(method, run_config);
+    TrainResult result = model->Train(graph, split);
+    micro.push_back(result.test_micro_f1);
+    macro.push_back(result.test_macro_f1);
+    seconds.push_back(result.train_seconds);
+    summary.epsilon_spent = result.epsilon_spent;
+    summary.delta_spent = result.delta_spent;
+    summary.runs.push_back(std::move(result));
+  }
+  summary.test_micro_f1 = Summarize(micro);
+  summary.test_macro_f1 = Summarize(macro);
+  summary.train_seconds = Summarize(seconds);
+  return summary;
 }
 
 SeriesTable::SeriesTable(std::string title, std::string x_name,

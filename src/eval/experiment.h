@@ -4,9 +4,13 @@
 #ifndef GCON_EVAL_EXPERIMENT_H_
 #define GCON_EVAL_EXPERIMENT_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "graph/datasets.h"
+#include "model/model.h"
 
 namespace gcon {
 
@@ -18,6 +22,32 @@ struct RunStats {
 
 /// Mean and sample standard deviation (n-1 denominator; 0 for n < 2).
 RunStats Summarize(const std::vector<double>& values);
+
+/// Aggregate of RunMethodRepeated: per-run TrainResults plus summary
+/// statistics over the test metrics.
+struct MethodRunSummary {
+  std::string method;
+  RunStats test_micro_f1;
+  RunStats test_macro_f1;
+  RunStats train_seconds;
+  /// Privacy budget reported by the method (identical across runs).
+  double epsilon_spent = 0.0;
+  double delta_spent = 0.0;
+  std::vector<TrainResult> runs;
+};
+
+/// Trains the registered method `runs` times, each on an independently
+/// generated instance of `spec` (graph, split, and — unless the caller
+/// pinned a "seed" key — the model seed all re-drawn from base_seed + r),
+/// and aggregates the test metrics.
+/// `config` keys override the method's defaults; an absent "delta" means
+/// the paper's auto rule (1/|directed E|) for the (eps, delta)-DP methods.
+/// Any bench can call this instead of hand-rolling its repeat loop.
+/// Throws std::invalid_argument for unknown methods or config keys.
+MethodRunSummary RunMethodRepeated(const std::string& method,
+                                   const ModelConfig& config,
+                                   const DatasetSpec& spec, int runs,
+                                   std::uint64_t base_seed);
 
 /// Fixed-width table keyed by an x column, used to print figure series.
 class SeriesTable {

@@ -1,0 +1,64 @@
+#include "model/adapters.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gcon {
+
+ModelRegistry& BuiltinModelRegistry() {
+  static const bool registered = [] {
+    ModelRegistry* registry = &ModelRegistry::Global();
+    internal::RegisterGconModel(registry);
+    internal::RegisterGcnModel(registry);
+    internal::RegisterDpgcnModel(registry);
+    internal::RegisterDpsgdModel(registry);
+    internal::RegisterGapModel(registry);
+    internal::RegisterProgapModel(registry);
+    internal::RegisterLpgnetModel(registry);
+    internal::RegisterMlpModel(registry);
+    return true;
+  }();
+  (void)registered;
+  return ModelRegistry::Global();
+}
+
+namespace internal {
+
+BudgetKeys ReadBudgetKeys(const ModelConfig& config) {
+  BudgetKeys keys;
+  keys.epsilon = config.GetDouble("epsilon", keys.epsilon);
+  keys.delta = config.GetDouble("delta", keys.delta);
+  return keys;
+}
+
+double ResolveDelta(const BudgetKeys& keys, const Graph& graph) {
+  if (keys.delta > 0.0) return keys.delta;
+  // The paper's convention: delta = 1/|E| with |E| the directed edge count.
+  return 1.0 / static_cast<double>(2 * graph.num_edges());
+}
+
+std::string DeltaLabel(const BudgetKeys& keys) {
+  if (keys.delta <= 0.0) return "auto";
+  std::ostringstream out;
+  out << keys.delta;
+  return out.str();
+}
+
+Matrix CachedLogitsModel::Predict(const Graph& graph) const {
+  GCON_CHECK_GT(trained_nodes_, 0) << "Predict called before Train on '"
+                                   << name() << "'";
+  GCON_CHECK_EQ(graph.num_nodes(), trained_nodes_)
+      << "'" << name()
+      << "' trains and predicts in one shot; Predict accepts only the "
+         "training graph";
+  return cached_logits_;
+}
+
+void CachedLogitsModel::CacheLogits(const Matrix& logits, const Graph& graph) {
+  cached_logits_ = logits;
+  trained_nodes_ = graph.num_nodes();
+}
+
+}  // namespace internal
+}  // namespace gcon

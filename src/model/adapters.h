@@ -1,0 +1,75 @@
+// Built-in GraphModel adapters: GCON plus the seven comparison methods of
+// Figures 1-4 (GCN, DPGCN, DP-SGD, GAP, ProGAP, LPGNet, MLP), each mapping
+// the uniform ModelConfig onto its method's existing options struct.
+//
+// Shared config keys (consumed by every adapter so one sweep config can
+// drive the whole suite):
+//   epsilon   privacy budget (ignored by the non-DP gcn and the edge-free
+//             mlp, which report their own spent values)
+//   delta     privacy delta; <= 0 or absent means "auto" = 1/|directed E|
+//             for the (epsilon, delta)-DP methods
+//   seed      RNG seed
+// Method-specific keys mirror the fields of the method's options struct;
+// `Describe()` prints every resolved value. Unknown keys are rejected by
+// ModelRegistry::Create.
+#ifndef GCON_MODEL_ADAPTERS_H_
+#define GCON_MODEL_ADAPTERS_H_
+
+#include "model/registry.h"
+
+namespace gcon {
+
+/// ModelRegistry::Global() with all eight built-in adapters registered
+/// (idempotent). Use this instead of Global() so the adapter object files
+/// are linked in from the static library.
+ModelRegistry& BuiltinModelRegistry();
+
+namespace internal {
+
+// One registration hook per adapter translation unit; called (once) by
+// BuiltinModelRegistry. A new method adds its hook here and to the list in
+// adapters.cc.
+void RegisterGconModel(ModelRegistry* registry);
+void RegisterGcnModel(ModelRegistry* registry);
+void RegisterDpgcnModel(ModelRegistry* registry);
+void RegisterDpsgdModel(ModelRegistry* registry);
+void RegisterGapModel(ModelRegistry* registry);
+void RegisterProgapModel(ModelRegistry* registry);
+void RegisterLpgnetModel(ModelRegistry* registry);
+void RegisterMlpModel(ModelRegistry* registry);
+
+/// Reads the shared budget keys. For methods that ignore one (or both) of
+/// them this still marks the keys consumed, so a sweep driver can put
+/// "epsilon" in every method's config without tripping the unknown-key
+/// check.
+struct BudgetKeys {
+  double epsilon = 1.0;
+  double delta = 0.0;  ///< <= 0 means auto: 1/(2 * |undirected E|)
+};
+BudgetKeys ReadBudgetKeys(const ModelConfig& config);
+
+/// Resolves an "auto" delta against the training graph.
+double ResolveDelta(const BudgetKeys& keys, const Graph& graph);
+
+/// "auto" for the <= 0 sentinel, the numeric value otherwise (Describe).
+std::string DeltaLabel(const BudgetKeys& keys);
+
+/// Base for adapters whose underlying method trains and predicts in one
+/// shot (all the baselines): Train caches the logits, and Predict returns
+/// them for the training graph only.
+class CachedLogitsModel : public GraphModel {
+ public:
+  Matrix Predict(const Graph& graph) const override;
+
+ protected:
+  void CacheLogits(const Matrix& logits, const Graph& graph);
+
+ private:
+  Matrix cached_logits_;
+  int trained_nodes_ = 0;
+};
+
+}  // namespace internal
+}  // namespace gcon
+
+#endif  // GCON_MODEL_ADAPTERS_H_

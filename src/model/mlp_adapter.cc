@@ -1,0 +1,66 @@
+// "mlp": features-only classifier — never reads the edge set, so it is
+// edge-DP at zero budget (the "no graph information" floor of Figure 1).
+#include <memory>
+#include <sstream>
+
+#include "baselines/mlp_baseline.h"
+#include "common/timer.h"
+#include "model/adapters.h"
+
+namespace gcon {
+namespace {
+
+class MlpModel : public internal::CachedLogitsModel {
+ public:
+  explicit MlpModel(const ModelConfig& config) {
+    options_.hidden = config.GetInt("hidden", options_.hidden);
+    options_.epochs = config.GetInt("epochs", options_.epochs);
+    options_.learning_rate =
+        config.GetDouble("learning_rate", options_.learning_rate);
+    options_.weight_decay =
+        config.GetDouble("weight_decay", options_.weight_decay);
+    options_.seed = config.GetSeed("seed", options_.seed);
+    internal::ReadBudgetKeys(config);  // accepted, ignored: edge-free
+  }
+
+  std::string name() const override { return "mlp"; }
+
+  std::string Describe() const override {
+    std::ostringstream out;
+    out << "mlp hidden=" << options_.hidden << " epochs=" << options_.epochs
+        << " learning_rate=" << options_.learning_rate
+        << " weight_decay=" << options_.weight_decay
+        << " seed=" << options_.seed;
+    return out.str();
+  }
+
+  bool UsesPrivacyBudget() const override { return false; }
+
+  TrainResult Train(const Graph& graph, const Split& split) override {
+    Timer timer;
+    Matrix logits = TrainMlpAndPredict(graph, split, options_);
+    CacheLogits(logits, graph);
+    // Edges never touched: (0, 0)-edge-DP.
+    return MakeResult(graph, split, std::move(logits), timer.Seconds(), 0.0,
+                      0.0);
+  }
+
+ private:
+  MlpBaselineOptions options_;
+};
+
+}  // namespace
+
+namespace internal {
+
+void RegisterMlpModel(ModelRegistry* registry) {
+  registry->Register(
+      "mlp",
+      [](const ModelConfig& config) -> std::unique_ptr<GraphModel> {
+        return std::make_unique<MlpModel>(config);
+      },
+      "features-only MLP; edge-DP for free (utility floor)");
+}
+
+}  // namespace internal
+}  // namespace gcon

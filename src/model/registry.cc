@@ -1,0 +1,61 @@
+#include "model/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace gcon {
+
+ModelRegistry& ModelRegistry::Global() {
+  static ModelRegistry* registry = new ModelRegistry();
+  return *registry;
+}
+
+void ModelRegistry::Register(const std::string& name, Factory factory,
+                             const std::string& summary) {
+  GCON_CHECK(!name.empty()) << "model name must be non-empty";
+  GCON_CHECK(factory != nullptr) << "null factory for model '" << name << "'";
+  const bool inserted =
+      entries_.emplace(name, Entry{std::move(factory), summary}).second;
+  GCON_CHECK(inserted) << "model '" << name << "' registered twice";
+}
+
+bool ModelRegistry::Contains(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::unique_ptr<GraphModel> ModelRegistry::Create(
+    const std::string& name, const ModelConfig& config) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown method '" + name +
+                                "'; registered methods: " +
+                                Join(Names(), ", "));
+  }
+  std::unique_ptr<GraphModel> model = it->second.factory(config);
+  GCON_CHECK(model != nullptr)
+      << "factory for model '" << name << "' returned null";
+  // Adapters read every key they understand at construction time, so any
+  // key still unread is a typo or belongs to a different method.
+  config.CheckAllKeysUsed(name);
+  return model;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string ModelRegistry::Summary(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? std::string() : it->second.summary;
+}
+
+}  // namespace gcon

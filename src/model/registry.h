@@ -1,0 +1,65 @@
+// String-keyed registry of GraphModel factories.
+//
+// Each adapter translation unit defines a factory and registers it under
+// its method name ("gcon", "gcn", ...); consumers create models with
+//   auto model = BuiltinModelRegistry().Create("gcon", config);
+// BuiltinModelRegistry() (adapters.h) guarantees the eight built-in
+// adapters are linked and registered — plain static-initializer
+// registration is not enough because gcon_core is a static library and the
+// linker drops object files nothing references.
+//
+// Adding a ninth method: implement the adapter in one new src/model/*.cc
+// file and add its Register* call to adapters.cc. Every registry consumer
+// (CLI --help, bench loops, tests) picks it up automatically.
+#ifndef GCON_MODEL_REGISTRY_H_
+#define GCON_MODEL_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace gcon {
+
+class ModelRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<GraphModel>(const ModelConfig&)>;
+
+  /// The process-wide registry instance.
+  static ModelRegistry& Global();
+
+  /// Registers `factory` under `name` with a one-line `summary` for
+  /// --help/Describe listings. Re-registering a name is a programming
+  /// error (aborts).
+  void Register(const std::string& name, Factory factory,
+                const std::string& summary);
+
+  bool Contains(const std::string& name) const;
+
+  /// Instantiates the named model. Throws std::invalid_argument when the
+  /// name is unknown (the message lists the registered names) or when
+  /// `config` contains a key the adapter never read.
+  std::unique_ptr<GraphModel> Create(const std::string& name,
+                                     const ModelConfig& config) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// The summary string given at registration; empty for unknown names.
+  std::string Summary(const std::string& name) const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    std::string summary;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_MODEL_REGISTRY_H_

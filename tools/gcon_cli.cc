@@ -1,4 +1,5 @@
-// gcon_cli — train, publish, and serve edge-DP GCN models from the shell.
+// gcon_cli — train, evaluate, publish, and serve edge-DP GCN models from
+// the shell.
 //
 // Subcommands (first positional argument):
 //   train    --graph=in.graph --model=out.model --epsilon=1 [--delta=auto]
@@ -6,6 +7,13 @@
 //            [--d1=16] [--hidden=32] [--seed=1]
 //            Trains GCON on a gcon-graph file (see graph/io.h) using a
 //            planetoid split and writes the release artifact.
+//   eval     --method=NAME [--set key=value]... [--dataset=cora_ml]
+//            [--scale=0.2] [--runs=1] [--epsilon=1] [--seed=1]
+//            Trains any method registered in the ModelRegistry on a
+//            synthetic dataset and reports micro/macro-F1, the privacy
+//            budget actually spent, and wall-clock time. --set overrides
+//            map onto the method's options struct; unknown methods or keys
+//            exit 2 with the registered alternatives.
 //   predict  --graph=in.graph --model=in.model [--labels]
 //            Loads an artifact, runs Eq. (16) private inference on the
 //            graph, and prints per-node argmax predictions (with micro-F1
@@ -16,19 +24,23 @@
 //            Writes a synthetic dataset to a graph file.
 //
 // Exit codes: 0 success, 2 usage error.
+#include <exception>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/string_util.h"
-#include "core/gcon.h"
 #include "core/model_io.h"
+#include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
 #include "graph/stats.h"
-#include "propagation/appr.h"
+#include "model/adapters.h"
 #include "rng/rng.h"
 
 namespace {
@@ -36,7 +48,10 @@ namespace {
 const std::map<std::string, std::string> kSpec = {
     {"graph", "path to a gcon-graph v1 file"},
     {"model", "path to a gcon-model v1 artifact"},
-    {"epsilon", "privacy budget (train)"},
+    {"method", "registered method name (eval); see the list below"},
+    {"set", "key=value config override (eval); repeatable"},
+    {"runs", "independent repeats (eval, default 1)"},
+    {"epsilon", "privacy budget (train/eval)"},
     {"delta", "privacy delta; default 1/|directed edges|"},
     {"alpha", "APPR restart probability (default 0.8)"},
     {"steps", "comma-separated propagation steps; 'inf' allowed (default 2)"},
@@ -45,21 +60,27 @@ const std::map<std::string, std::string> kSpec = {
     {"hidden", "encoder hidden width (default 32)"},
     {"seed", "RNG seed (default 1)"},
     {"labels", "evaluate predictions against the graph's labels"},
-    {"dataset", "synthetic dataset name (generate)"},
-    {"scale", "synthetic dataset scale factor (generate, default 1.0)"},
+    {"dataset", "synthetic dataset name (generate/eval)"},
+    {"scale", "synthetic dataset scale factor (generate 1.0, eval 0.2)"},
     {"out", "output path (generate)"},
 };
 
-std::vector<int> ParseSteps(const std::string& text) {
-  std::vector<int> steps;
-  for (const std::string& piece : gcon::SplitString(text, ',')) {
-    if (piece == "inf") {
-      steps.push_back(gcon::kInfiniteSteps);
-    } else {
-      steps.push_back(std::stoi(piece));
-    }
+std::string MethodListing() {
+  std::ostringstream out;
+  out << "registered methods (--method):\n";
+  for (const std::string& name : gcon::BuiltinModelRegistry().Names()) {
+    out << "  " << name << " — " << gcon::BuiltinModelRegistry().Summary(name)
+        << "\n";
   }
-  return steps;
+  return out.str();
+}
+
+gcon::Split MakeCliSplit(const gcon::Graph& graph, std::uint64_t seed) {
+  gcon::Rng rng(seed);
+  return gcon::PlanetoidSplit(
+      graph, /*per_class=*/20,
+      /*val_size=*/std::max(20, graph.num_nodes() / 10),
+      /*test_size=*/std::max(40, graph.num_nodes() / 5), &rng);
 }
 
 int CmdTrain(const gcon::Flags& flags) {
@@ -69,41 +90,88 @@ int CmdTrain(const gcon::Flags& flags) {
     std::cerr << "train requires --graph and --model\n";
     return 2;
   }
-  const gcon::Graph graph = gcon::LoadGraph(graph_path);
-  const double epsilon = flags.GetDouble("epsilon", 1.0);
-  const double delta = flags.GetDouble(
-      "delta", 1.0 / static_cast<double>(2 * graph.num_edges()));
+  const std::string seed = flags.GetString("seed", "1");
 
-  gcon::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 1)));
-  const gcon::Split split = gcon::PlanetoidSplit(
-      graph, /*per_class=*/20, /*val_size=*/std::max(20, graph.num_nodes() / 10),
-      /*test_size=*/std::max(40, graph.num_nodes() / 5), &rng);
+  // The train subcommand is sugar for `eval --method=gcon` plus Save: build
+  // the same ModelConfig the registry path uses (validating flag values up
+  // front) and let the gcon adapter do the work.
+  gcon::ModelConfig config;
+  config.Set("epsilon", flags.GetString("epsilon", "1"));
+  if (flags.Has("delta")) config.Set("delta", flags.GetString("delta", ""));
+  config.Set("alpha", flags.GetString("alpha", "0.8"));
+  config.Set("steps", flags.GetString("steps", "2"));
+  config.Set("d1", flags.GetString("d1", "16"));
+  config.Set("hidden", flags.GetString("hidden", "32"));
+  config.Set("expand", flags.GetBool("expand", false) ? "true" : "false");
+  config.Set("max_iterations", "500");
+  config.Set("seed", seed);
 
-  gcon::GconConfig config;
-  config.epsilon = epsilon;
-  config.delta = delta;
-  config.alpha = flags.GetDouble("alpha", 0.8);
-  config.steps = ParseSteps(flags.GetString("steps", "2"));
-  config.encoder.out_dim = flags.GetInt("d1", 16);
-  config.encoder.hidden = flags.GetInt("hidden", 32);
-  config.expand_train_set = flags.GetBool("expand", false);
-  config.minimize.minimizer = gcon::Minimizer::kLbfgs;
-  config.minimize.max_iterations = 500;
-  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
-
-  const gcon::GconPrepared prepared = gcon::PrepareGcon(graph, split, config);
-  const gcon::GconModel model =
-      gcon::TrainPrepared(prepared, epsilon, delta, config.seed + 0x5eed);
-  gcon::SaveModel(gcon::MakeArtifact(prepared, model, epsilon, delta),
-                  model_path);
-
-  const double val_f1 = gcon::MicroF1FromLogits(
-      gcon::PrivateInference(prepared, model), graph.labels(), split.val,
-      graph.num_classes());
-  std::cout << "trained on " << graph.num_nodes() << " nodes at epsilon="
-            << epsilon << " delta=" << delta << "; validation micro-F1 "
-            << val_f1 << "\nwrote " << model_path << "\n";
+  try {
+    // Validates --steps/--epsilon/... before touching the graph file.
+    std::unique_ptr<gcon::GraphModel> model =
+        gcon::BuiltinModelRegistry().Create("gcon", config);
+    const gcon::Graph graph = gcon::LoadGraph(graph_path);
+    const gcon::Split split =
+        MakeCliSplit(graph, static_cast<std::uint64_t>(std::stoull(seed)));
+    const gcon::TrainResult result = model->Train(graph, split);
+    model->Save(model_path);
+    std::cout << "trained on " << graph.num_nodes()
+              << " nodes at epsilon=" << result.epsilon_spent
+              << " delta=" << result.delta_spent << "; validation micro-F1 "
+              << result.val_micro_f1 << "\nwrote " << model_path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "train: " << e.what() << "\n" << flags.Usage();
+    return 2;
+  }
   return 0;
+}
+
+int CmdEval(const gcon::Flags& flags) {
+  const std::string method = flags.GetString("method", "");
+  if (method.empty()) {
+    std::cerr << "eval requires --method\n" << MethodListing();
+    return 2;
+  }
+  try {
+    gcon::ModelConfig config;
+    if (flags.Has("epsilon")) {
+      config.Set("epsilon", flags.GetString("epsilon", ""));
+    }
+    if (flags.Has("delta")) config.Set("delta", flags.GetString("delta", ""));
+    for (const std::string& kv : flags.GetList("set")) {
+      config.SetFromFlag(kv);
+    }
+    const gcon::DatasetSpec spec = gcon::Scaled(
+        gcon::SpecByName(flags.GetString("dataset", "cora_ml")),
+        flags.GetDouble("scale", 0.2));
+    const int runs = flags.GetInt("runs", 1);
+    if (runs <= 0) {
+      std::cerr << "eval: --runs must be positive\n";
+      return 2;
+    }
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+    const gcon::MethodRunSummary summary =
+        gcon::RunMethodRepeated(method, config, spec, runs, seed);
+    const gcon::TrainResult& first = summary.runs.front();
+    std::cout << first.description << "\n"
+              << "dataset " << spec.name << " scale "
+              << flags.GetDouble("scale", 0.2) << " (" << runs
+              << (runs == 1 ? " run" : " runs") << ")\n"
+              << "test micro-F1  " << summary.test_micro_f1.mean;
+    if (runs > 1) std::cout << " ± " << summary.test_micro_f1.stddev;
+    std::cout << "\ntest macro-F1  " << summary.test_macro_f1.mean;
+    if (runs > 1) std::cout << " ± " << summary.test_macro_f1.stddev;
+    std::cout << "\nval micro-F1   " << first.val_micro_f1 << "\n"
+              << "epsilon spent  " << summary.epsilon_spent << " (delta "
+              << summary.delta_spent << ")\n"
+              << "train seconds  " << summary.train_seconds.mean << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "eval: " << e.what() << "\n";
+    return 2;
+  }
 }
 
 int CmdPredict(const gcon::Flags& flags) {
@@ -172,12 +240,14 @@ int CmdGenerate(const gcon::Flags& flags) {
 int main(int argc, char** argv) {
   const gcon::Flags flags(argc, argv, kSpec);
   if (flags.positional().empty()) {
-    std::cerr << "usage: gcon_cli <train|predict|stats|generate> [flags]\n"
-              << flags.Usage();
+    std::cerr << "usage: gcon_cli <train|eval|predict|stats|generate> "
+                 "[flags]\n"
+              << flags.Usage() << MethodListing();
     return 2;
   }
   const std::string& command = flags.positional().front();
   if (command == "train") return CmdTrain(flags);
+  if (command == "eval") return CmdEval(flags);
   if (command == "predict") return CmdPredict(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "generate") return CmdGenerate(flags);
