@@ -15,9 +15,11 @@
 // Cost note vs the pre-registry bench: each (method, eps) point regenerates
 // its dataset (same seeds, so identical graphs) and the gcon adapter
 // retrains its eps-independent encoder per eps point instead of once per
-// run. The encoder is still shared across the alpha_grid search — the
-// dominant inner loop — and the uniform harness is what lets a new method
-// join without code here; revisit if paper-scale wall-clock matters.
+// run. The PropagationCache claws back the big precomputation: run r draws
+// the same graph at every eps point, so the transition build and (for
+// methods whose encoder output repeats) the propagation are paid once per
+// run instead of once per (run, eps). The encoder is still shared across
+// the alpha_grid search — the dominant inner loop.
 //
 // Expected shape (paper): GCON > {GAP, ProGAP, LPGNet, DPGCN, DP-SGD} at
 // every eps, with the margin largest at small eps; MLP is a flat

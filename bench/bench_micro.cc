@@ -1,6 +1,12 @@
 // Kernel micro-benchmarks (google-benchmark): the hot paths of the
-// reproduction — dense GEMM, SpMM, APPR propagation, Erlang-sphere noise
-// sampling, the Theorem 1 parameter chain, and the convex minimization.
+// reproduction — dense GEMM (blocked vs the kept seed-naive reference),
+// SpMM and the fused SpmmAxpby APPR round, propagation, the propagation
+// cache, Erlang-sphere noise sampling, the Theorem 1 parameter chain, and
+// the convex minimization.
+//
+// Counters feed the machine-readable perf artifact
+// (tools/bench_linalg_json.sh -> BENCH_linalg.json): GEMM reports FLOPS
+// (rate), SpMM rows_per_s, APPR is tracked by wall time.
 #include <benchmark/benchmark.h>
 
 #include "core/convex_loss.h"
@@ -8,8 +14,10 @@
 #include "core/objective.h"
 #include "core/theorem1.h"
 #include "graph/datasets.h"
+#include "linalg/gemm_kernels.h"
 #include "linalg/ops.h"
 #include "propagation/appr.h"
+#include "propagation/cache.h"
 #include "propagation/transition.h"
 #include "rng/rng.h"
 #include "sparse/csr_matrix.h"
@@ -26,6 +34,18 @@ Matrix RandomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
   return m;
 }
 
+void SetGemmCounters(benchmark::State& state, std::size_t n) {
+  const double flops_per_iter = 2.0 * static_cast<double>(n) *
+                                static_cast<double>(n) *
+                                static_cast<double>(n);
+  state.counters["FLOPS"] =
+      benchmark::Counter(flops_per_iter * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n));
+}
+
 void BM_DenseGemm(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Matrix a = RandomMatrix(n, n, 1);
@@ -33,11 +53,45 @@ void BM_DenseGemm(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(MatMul(a, b));
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
-                          static_cast<std::int64_t>(n) *
-                          static_cast<std::int64_t>(n));
+  SetGemmCounters(state, n);
 }
 BENCHMARK(BM_DenseGemm)->Arg(64)->Arg(256);
+
+// The seed repository's i-k-j kernel, kept as the speedup baseline.
+void BM_DenseGemmSeedNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, n, 1);
+  const Matrix b = RandomMatrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    internal::GemmReference(1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetGemmCounters(state, n);
+}
+BENCHMARK(BM_DenseGemmSeedNaive)->Arg(64)->Arg(256);
+
+void BM_DenseGemmTransA(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, n, 5);
+  const Matrix b = RandomMatrix(n, n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransA(a, b));
+  }
+  SetGemmCounters(state, n);
+}
+BENCHMARK(BM_DenseGemmTransA)->Arg(256);
+
+void BM_DenseGemmTransB(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, n, 7);
+  const Matrix b = RandomMatrix(n, n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransB(a, b));
+  }
+  SetGemmCounters(state, n);
+}
+BENCHMARK(BM_DenseGemmTransB)->Arg(256);
 
 void BM_SpMM(benchmark::State& state) {
   DatasetSpec spec = TinySpec();
@@ -50,10 +104,48 @@ void BM_SpMM(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(t.Multiply(x));
   }
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(t.rows()),
+      benchmark::Counter::kIsRate);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(t.nnz()) * 64);
 }
 BENCHMARK(BM_SpMM)->Arg(1000)->Arg(10000);
+
+// One APPR round, fused (single SpmmAxpby pass) vs the pre-fusion three-op
+// sequence (Multiply allocates, then scale, then axpy).
+void BM_ApprRoundFused(benchmark::State& state) {
+  DatasetSpec spec = TinySpec();
+  spec.num_nodes = 2000;
+  spec.num_undirected_edges = 10000;
+  Rng rng(5);
+  const Graph graph = GenerateDataset(spec, &rng);
+  const CsrMatrix t = BuildTransition(graph);
+  const Matrix x = RandomMatrix(2000, 32, 6);
+  Matrix out(2000, 32);
+  for (auto _ : state) {
+    t.SpmmAxpby(0.5, x, 0.5, x, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ApprRoundFused);
+
+void BM_ApprRoundThreeOp(benchmark::State& state) {
+  DatasetSpec spec = TinySpec();
+  spec.num_nodes = 2000;
+  spec.num_undirected_edges = 10000;
+  Rng rng(5);
+  const Graph graph = GenerateDataset(spec, &rng);
+  const CsrMatrix t = BuildTransition(graph);
+  const Matrix x = RandomMatrix(2000, 32, 6);
+  for (auto _ : state) {
+    Matrix out = t.Multiply(x);
+    ScaleInPlace(0.5, &out);
+    AxpyInPlace(0.5, x, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ApprRoundThreeOp);
 
 void BM_ApprPropagate(benchmark::State& state) {
   DatasetSpec spec = TinySpec();
@@ -86,6 +178,27 @@ void BM_PprFixedPoint(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PprFixedPoint)->Arg(2)->Arg(6);
+
+// Warm-cache ConcatPropagate (hash + copy) vs the recompute it replaces —
+// the per-run cost a repeated-run sweep pays after the first run.
+void BM_PropagationCacheHit(benchmark::State& state) {
+  DatasetSpec spec = TinySpec();
+  spec.num_nodes = 2000;
+  spec.num_undirected_edges = 10000;
+  Rng rng(5);
+  const Graph graph = GenerateDataset(spec, &rng);
+  Matrix x = RandomMatrix(2000, 32, 6);
+  RowL2NormalizeInPlace(&x);
+  const std::vector<int> steps = {2};
+  PropagationCache cache;
+  const PropagationCache::CachedCsr t = cache.Transition(graph);
+  cache.ConcatPropagate(*t.csr, t.key, x, steps, 0.5);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.ConcatPropagate(*t.csr, t.key, x, steps, 0.5));
+  }
+  state.counters["hits"] = static_cast<double>(cache.stats().propagation_hits);
+}
+BENCHMARK(BM_PropagationCacheHit);
 
 void BM_NoiseSampling(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));

@@ -9,7 +9,7 @@
 #include "linalg/ops.h"
 #include "nn/loss.h"
 #include "nn/optim.h"
-#include "propagation/transition.h"
+#include "propagation/cache.h"
 #include "rng/rng.h"
 
 namespace gcon {
@@ -20,9 +20,11 @@ Matrix TrainDpsgdGcnAndPredict(const Graph& graph, const Split& split,
   GCON_CHECK(!split.train.empty());
   GCON_CHECK_GT(options.clip, 0.0);
 
-  // Aggregated features S = Ã X (constant; 1-layer SGC).
-  const CsrMatrix transition = BuildTransition(graph);
-  const Matrix s = transition.Multiply(graph.features());
+  // Aggregated features S = Ã X (constant; 1-layer SGC). The CachedCsr
+  // keeps the matrix alive — it may be the sole owner (cache disabled).
+  const PropagationCache::CachedCsr cached_transition =
+      PropagationCache::Global().Transition(graph);
+  const Matrix s = cached_transition.csr->Multiply(graph.features());
   const int c = graph.num_classes();
   const std::size_t d = s.cols();
 

@@ -7,6 +7,7 @@
 #include "dp/mechanisms.h"
 #include "linalg/ops.h"
 #include "nn/mlp.h"
+#include "propagation/cache.h"
 #include "rng/rng.h"
 
 namespace gcon {
@@ -35,7 +36,13 @@ Matrix TrainGapAndPredict(const Graph& graph, const Split& split,
   std::vector<Matrix> hops;
   hops.push_back(x0);
   if (options.hops > 0) {
-    const CsrMatrix adjacency = graph.AdjacencyCsr();
+    // The aggregation matrix is reused across runs/budget points; the noisy
+    // hops themselves are fresh randomness every run and never cached. The
+    // CachedCsr must outlive every use of the reference — it may be the
+    // sole owner (cache disabled, or evicted).
+    const PropagationCache::CachedCsr cached_adjacency =
+        PropagationCache::Global().Adjacency(graph);
+    const CsrMatrix& adjacency = *cached_adjacency.csr;
     const double sigma = ZcdpSigmaForComposition(
         options.hops, std::sqrt(2.0), epsilon, delta);
     Rng rng(options.seed + 0x6A9);

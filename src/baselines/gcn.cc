@@ -8,6 +8,7 @@
 #include "nn/loss.h"
 #include "nn/mlp.h"
 #include "nn/optim.h"
+#include "propagation/cache.h"
 
 namespace gcon {
 
@@ -19,6 +20,7 @@ CsrMatrix SymmetricNormalizedAdjacency(const Graph& graph) {
         1.0 / std::sqrt(static_cast<double>(graph.Degree(v)) + 1.0);
   }
   CooBuilder builder(n, n);
+  builder.Reserve(2 * graph.num_edges() + n);
   for (int i = 0; i < graph.num_nodes(); ++i) {
     const double di = inv_sqrt_deg[static_cast<std::size_t>(i)];
     builder.Add(static_cast<std::size_t>(i), static_cast<std::size_t>(i),
@@ -34,7 +36,16 @@ CsrMatrix SymmetricNormalizedAdjacency(const Graph& graph) {
 Matrix TrainGcnAndPredict(const Graph& graph, const Split& split,
                           const GcnOptions& options) {
   GCON_CHECK(!split.train.empty());
-  const CsrMatrix adj = SymmetricNormalizedAdjacency(graph);
+  // Memoized through the generic cache hook: GCN repeats on the same graph
+  // hit; DPGCN's per-(seed, epsilon) perturbed graphs mostly miss and age
+  // out of the LRU — correctness is by fingerprint either way. Hold the
+  // CachedCsr (not a copy, not a bare reference): it shares ownership with
+  // the cache and may be the sole owner when the cache is disabled.
+  const PropagationCache::CachedCsr cached_adj =
+      PropagationCache::Global().Csr(
+          "sym_norm_adj", FingerprintGraph(graph),
+          [&] { return SymmetricNormalizedAdjacency(graph); });
+  const CsrMatrix& adj = *cached_adj.csr;
   const Matrix& x = graph.features();
   const int c = graph.num_classes();
 

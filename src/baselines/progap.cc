@@ -6,6 +6,7 @@
 #include "dp/mechanisms.h"
 #include "linalg/ops.h"
 #include "nn/mlp.h"
+#include "propagation/cache.h"
 #include "rng/rng.h"
 
 namespace gcon {
@@ -35,7 +36,9 @@ Matrix TrainProgapAndPredict(const Graph& graph, const Split& split,
   Matrix logits = stage0.Forward(graph.features());
   if (options.stages == 0) return logits;
 
-  const CsrMatrix adjacency = graph.AdjacencyCsr();
+  const PropagationCache::CachedCsr cached_adjacency =
+      PropagationCache::Global().Adjacency(graph);
+  const CsrMatrix& adjacency = *cached_adjacency.csr;
   const double sigma = ZcdpSigmaForComposition(options.stages, std::sqrt(2.0),
                                                epsilon, delta);
   Rng rng(options.seed + 0x960);

@@ -7,8 +7,8 @@
 #include "core/noise.h"
 #include "linalg/ops.h"
 #include "propagation/appr.h"
+#include "propagation/cache.h"
 #include "propagation/sensitivity.h"
-#include "propagation/transition.h"
 #include "rng/rng.h"
 
 namespace gcon {
@@ -49,9 +49,8 @@ Matrix InferenceFeatures(const CsrMatrix& transition, const Matrix& encoded,
       continue;
     }
     if (!have_hop) {
-      hop = transition.Multiply(encoded);
-      ScaleInPlace(1.0 - alpha_inf, &hop);
-      AxpyInPlace(alpha_inf, encoded, &hop);
+      transition.SpmmAxpby(1.0 - alpha_inf, encoded, alpha_inf, encoded,
+                           &hop);
       have_hop = true;
     }
     blocks.push_back(hop);
@@ -94,10 +93,15 @@ GconPrepared PrepareGconFromEncoded(const Graph& graph, const Split& split,
   // Step 2: row L2 normalization (Algorithm 1, line 2).
   RowL2NormalizeInPlace(&prepared.encoded);
 
-  // Step 3: transition matrix and multi-scale propagation (lines 4-7).
-  prepared.transition = BuildTransition(graph);
-  prepared.z = ConcatPropagate(prepared.transition, prepared.encoded,
-                               config.steps, config.alpha);
+  // Step 3: transition matrix and multi-scale propagation (lines 4-7),
+  // memoized across runs/sweeps — both are pure functions of the graph
+  // structure and the (normalized) encoder output.
+  PropagationCache& cache = PropagationCache::Global();
+  const PropagationCache::CachedCsr transition = cache.Transition(graph);
+  prepared.transition = *transition.csr;
+  prepared.z = cache.ConcatPropagate(*transition.csr, transition.key,
+                                     prepared.encoded, config.steps,
+                                     config.alpha);
 
   // Training rows: the labeled set, optionally expanded to all nodes with
   // encoder pseudo-labels (paper's n1 = n option). Pseudo-labels never leak
@@ -200,9 +204,10 @@ Matrix PrivateInferenceOnGraph(const GconPrepared& prepared,
   Matrix encoded = prepared.encoder_mlp.HiddenRepresentation(
       graph.features(), prepared.encoder_mlp.num_layers() - 1);
   RowL2NormalizeInPlace(&encoded);
-  const CsrMatrix transition = BuildTransition(graph);
+  const PropagationCache::CachedCsr transition =
+      PropagationCache::Global().Transition(graph);
   const Matrix features =
-      InferenceFeatures(transition, encoded, config.steps, alpha_inf);
+      InferenceFeatures(*transition.csr, encoded, config.steps, alpha_inf);
   return MatMul(features, model.theta);
 }
 
@@ -212,9 +217,10 @@ Matrix PublicInferenceOnGraph(const GconPrepared& prepared,
   Matrix encoded = prepared.encoder_mlp.HiddenRepresentation(
       graph.features(), prepared.encoder_mlp.num_layers() - 1);
   RowL2NormalizeInPlace(&encoded);
-  const CsrMatrix transition = BuildTransition(graph);
-  const Matrix z =
-      ConcatPropagate(transition, encoded, config.steps, config.alpha);
+  PropagationCache& cache = PropagationCache::Global();
+  const PropagationCache::CachedCsr transition = cache.Transition(graph);
+  const Matrix z = cache.ConcatPropagate(*transition.csr, transition.key,
+                                         encoded, config.steps, config.alpha);
   return MatMul(z, model.theta);
 }
 

@@ -8,7 +8,7 @@
 #include "linalg/ops.h"
 #include "nn/mlp_io.h"
 #include "propagation/appr.h"
-#include "propagation/transition.h"
+#include "propagation/cache.h"
 
 namespace gcon {
 
@@ -16,7 +16,8 @@ Matrix GconArtifact::Infer(const Graph& graph) const {
   Matrix encoded = encoder.HiddenRepresentation(graph.features(),
                                                 encoder.num_layers() - 1);
   RowL2NormalizeInPlace(&encoded);
-  const CsrMatrix transition = BuildTransition(graph);
+  const PropagationCache::CachedCsr transition =
+      PropagationCache::Global().Transition(graph);
   const double alpha_inf = alpha_inference >= 0.0 ? alpha_inference : alpha;
 
   Matrix hop;
@@ -29,9 +30,8 @@ Matrix GconArtifact::Infer(const Graph& graph) const {
       continue;
     }
     if (!have_hop) {
-      hop = transition.Multiply(encoded);
-      ScaleInPlace(1.0 - alpha_inf, &hop);
-      AxpyInPlace(alpha_inf, encoded, &hop);
+      transition.csr->SpmmAxpby(1.0 - alpha_inf, encoded, alpha_inf, encoded,
+                                &hop);
       have_hop = true;
     }
     blocks.push_back(hop);

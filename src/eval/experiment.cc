@@ -32,16 +32,34 @@ RunStats Summarize(const std::vector<double>& values) {
 MethodRunSummary RunMethodRepeated(const std::string& method,
                                    const ModelConfig& config,
                                    const DatasetSpec& spec, int runs,
-                                   std::uint64_t base_seed) {
+                                   std::uint64_t base_seed,
+                                   const RepeatOptions& options) {
   GCON_CHECK_GT(runs, 0) << "RunMethodRepeated needs at least one run";
   MethodRunSummary summary;
   summary.method = method;
   std::vector<double> micro, macro, seconds;
+  const PropagationCacheStats cache_before =
+      PropagationCache::Global().stats();
+
+  Graph shared_graph;
+  Split shared_split;
+  if (options.share_data) {
+    Rng rng(base_seed);
+    shared_graph = GenerateDataset(spec, &rng);
+    shared_split = MakeSplit(spec, shared_graph, &rng);
+  }
+
   for (int r = 0; r < runs; ++r) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(r);
-    Rng rng(seed);
-    const Graph graph = GenerateDataset(spec, &rng);
-    const Split split = MakeSplit(spec, graph, &rng);
+    Graph local_graph;
+    Split local_split;
+    if (!options.share_data) {
+      Rng rng(seed);
+      local_graph = GenerateDataset(spec, &rng);
+      local_split = MakeSplit(spec, local_graph, &rng);
+    }
+    const Graph& graph = options.share_data ? shared_graph : local_graph;
+    const Split& split = options.share_data ? shared_split : local_split;
     ModelConfig run_config = config;
     // A caller-pinned "seed" wins (e.g. `--set seed=N`); otherwise each run
     // gets its own model seed alongside its own data draw.
@@ -61,6 +79,20 @@ MethodRunSummary RunMethodRepeated(const std::string& method,
   summary.test_micro_f1 = Summarize(micro);
   summary.test_macro_f1 = Summarize(macro);
   summary.train_seconds = Summarize(seconds);
+
+  const PropagationCacheStats cache_after = PropagationCache::Global().stats();
+  summary.cache.csr_hits =
+      cache_after.csr_hits - cache_before.csr_hits;
+  summary.cache.csr_misses =
+      cache_after.csr_misses - cache_before.csr_misses;
+  summary.cache.propagation_hits =
+      cache_after.propagation_hits - cache_before.propagation_hits;
+  summary.cache.propagation_misses =
+      cache_after.propagation_misses - cache_before.propagation_misses;
+  summary.cache.miss_build_seconds =
+      cache_after.miss_build_seconds - cache_before.miss_build_seconds;
+  summary.cache.hit_seconds_saved =
+      cache_after.hit_seconds_saved - cache_before.hit_seconds_saved;
   return summary;
 }
 

@@ -11,6 +11,7 @@
 
 #include "graph/datasets.h"
 #include "model/model.h"
+#include "propagation/cache.h"
 
 namespace gcon {
 
@@ -23,6 +24,21 @@ struct RunStats {
 /// Mean and sample standard deviation (n-1 denominator; 0 for n < 2).
 RunStats Summarize(const std::vector<double>& values);
 
+/// What the propagation cache did during one RunMethodRepeated call: the
+/// difference of PropagationCache::Global().stats() across the call. With
+/// share_data (and, for methods whose pre-propagation stage is seeded, a
+/// pinned "seed"), `propagation_hits` counts runs - 1 and
+/// `hit_seconds_saved` is the propagation wall-clock the cache amortized
+/// down to a single run's worth.
+struct PropagationCacheDelta {
+  std::uint64_t csr_hits = 0;
+  std::uint64_t csr_misses = 0;
+  std::uint64_t propagation_hits = 0;
+  std::uint64_t propagation_misses = 0;
+  double miss_build_seconds = 0.0;
+  double hit_seconds_saved = 0.0;
+};
+
 /// Aggregate of RunMethodRepeated: per-run TrainResults plus summary
 /// statistics over the test metrics.
 struct MethodRunSummary {
@@ -33,7 +49,18 @@ struct MethodRunSummary {
   /// Privacy budget reported by the method (identical across runs).
   double epsilon_spent = 0.0;
   double delta_spent = 0.0;
+  /// Propagation-cache activity attributable to this call.
+  PropagationCacheDelta cache;
   std::vector<TrainResult> runs;
+};
+
+/// Knobs for RunMethodRepeated beyond the paper's default protocol.
+struct RepeatOptions {
+  /// Paper protocol (false): every run draws its own graph and split from
+  /// base_seed + r. True: one dataset drawn from base_seed is shared by all
+  /// runs and only the model seed varies — the repeated-measurement setting
+  /// where the propagation cache amortizes the per-run precomputation.
+  bool share_data = false;
 };
 
 /// Trains the registered method `runs` times, each on an independently
@@ -47,7 +74,8 @@ struct MethodRunSummary {
 MethodRunSummary RunMethodRepeated(const std::string& method,
                                    const ModelConfig& config,
                                    const DatasetSpec& spec, int runs,
-                                   std::uint64_t base_seed);
+                                   std::uint64_t base_seed,
+                                   const RepeatOptions& options = {});
 
 /// Fixed-width table keyed by an x column, used to print figure series.
 class SeriesTable {

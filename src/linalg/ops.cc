@@ -1,99 +1,52 @@
 #include "linalg/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+
+#include "linalg/gemm_kernels.h"
 
 namespace gcon {
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.cols());
-  Gemm(1.0, a, b, 0.0, &c);
+  internal::GemmBlocked(1.0, a, /*trans_a=*/false, b, /*trans_b=*/false, 0.0,
+                        &c);
   return c;
 }
 
 void Gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
           Matrix* c) {
-  GCON_CHECK_EQ(a.cols(), b.rows()) << "gemm: inner dims mismatch";
-  GCON_CHECK_EQ(c->rows(), a.rows());
-  GCON_CHECK_EQ(c->cols(), b.cols());
-  const std::int64_t m = static_cast<std::int64_t>(a.rows());
-  const std::size_t k = a.cols();
-  const std::size_t n = b.cols();
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < m; ++i) {
-    double* crow = c->RowPtr(static_cast<std::size_t>(i));
-    if (beta == 0.0) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
-    } else if (beta != 1.0) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-    const double* arow = a.RowPtr(static_cast<std::size_t>(i));
-    for (std::size_t p = 0; p < k; ++p) {
-      const double av = alpha * arow[p];
-      if (av == 0.0) continue;
-      const double* brow = b.RowPtr(p);
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+  internal::GemmBlocked(alpha, a, /*trans_a=*/false, b, /*trans_b=*/false,
+                        beta, c);
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
-  GCON_CHECK_EQ(a.rows(), b.rows()) << "gemm^T: row mismatch";
-  const std::size_t m = a.cols();
-  const std::size_t n = b.cols();
-  const std::size_t k = a.rows();
-  Matrix c(m, n);
-  // C[p, j] = sum_i A[i, p] * B[i, j]. Accumulate row blocks of B scaled by
-  // A's column entries; parallelize over output rows to avoid write races.
-#pragma omp parallel for schedule(static)
-  for (std::int64_t p = 0; p < static_cast<std::int64_t>(m); ++p) {
-    double* crow = c.RowPtr(static_cast<std::size_t>(p));
-    for (std::size_t i = 0; i < k; ++i) {
-      const double av = a(i, static_cast<std::size_t>(p));
-      if (av == 0.0) continue;
-      const double* brow = b.RowPtr(i);
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+  Matrix c(a.cols(), b.cols());
+  internal::GemmBlocked(1.0, a, /*trans_a=*/true, b, /*trans_b=*/false, 0.0,
+                        &c);
   return c;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
-  GCON_CHECK_EQ(a.cols(), b.cols()) << "gemm B^T: col mismatch";
-  const std::size_t m = a.rows();
-  const std::size_t n = b.rows();
-  const std::size_t k = a.cols();
-  Matrix c(m, n);
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(m); ++i) {
-    const double* arow = a.RowPtr(static_cast<std::size_t>(i));
-    double* crow = c.RowPtr(static_cast<std::size_t>(i));
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* brow = b.RowPtr(j);
-      double acc = 0.0;
-      for (std::size_t p = 0; p < k; ++p) {
-        acc += arow[p] * brow[p];
-      }
-      crow[j] = acc;
-    }
-  }
+  Matrix c(a.rows(), b.rows());
+  internal::GemmBlocked(1.0, a, /*trans_a=*/false, b, /*trans_b=*/true, 0.0,
+                        &c);
   return c;
 }
 
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
   GCON_CHECK_EQ(a.cols(), x.size());
   std::vector<double> y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
+  const std::int64_t m = static_cast<std::int64_t>(a.rows());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const double* arow = a.RowPtr(static_cast<std::size_t>(i));
     double acc = 0.0;
     for (std::size_t j = 0; j < a.cols(); ++j) {
       acc += arow[j] * x[j];
     }
-    y[i] = acc;
+    y[static_cast<std::size_t>(i)] = acc;
   }
   return y;
 }
@@ -101,13 +54,25 @@ std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
 std::vector<double> MatVecTransA(const Matrix& a,
                                  const std::vector<double>& x) {
   GCON_CHECK_EQ(a.rows(), x.size());
-  std::vector<double> y(a.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      y[j] += xi * arow[j];
+  const std::size_t n = a.cols();
+  std::vector<double> y(n, 0.0);
+  // Each thread owns a contiguous block of output columns and streams its
+  // slice of every row, so y[j] is accumulated by one thread in row order
+  // (deterministic) and writes never race. No zero-skip on x[i]: a zero
+  // weight against a NaN/Inf feature must still poison the output.
+  constexpr std::size_t kColBlock = 512;
+  const std::int64_t blocks =
+      static_cast<std::int64_t>((n + kColBlock - 1) / kColBlock);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t j0 = static_cast<std::size_t>(blk) * kColBlock;
+    const std::size_t j1 = std::min(j0 + kColBlock, n);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double* arow = a.RowPtr(i);
+      const double xi = x[i];
+      for (std::size_t j = j0; j < j1; ++j) {
+        y[j] += xi * arow[j];
+      }
     }
   }
   return y;
@@ -115,10 +80,25 @@ std::vector<double> MatVecTransA(const Matrix& a,
 
 Matrix Transpose(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      t(j, i) = arow[j];
+  // Cache-blocked: each tile reads a.rows-major and writes t.rows-major
+  // within an L1-resident square; OpenMP over row-tiles of the output.
+  constexpr std::size_t kTile = 64;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::int64_t row_tiles =
+      static_cast<std::int64_t>((n + kTile - 1) / kTile);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t jt = 0; jt < row_tiles; ++jt) {
+    const std::size_t j0 = static_cast<std::size_t>(jt) * kTile;
+    const std::size_t j1 = std::min(j0 + kTile, n);
+    for (std::size_t i0 = 0; i0 < m; i0 += kTile) {
+      const std::size_t i1 = std::min(i0 + kTile, m);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* arow = a.RowPtr(i);
+        for (std::size_t j = j0; j < j1; ++j) {
+          t(j, i) = arow[j];
+        }
+      }
     }
   }
   return t;

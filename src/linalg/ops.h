@@ -1,9 +1,22 @@
 // Dense BLAS-like kernels on Matrix and std::vector<double>.
 //
-// All kernels are written for clarity first; the matrix products use a
-// cache-friendly i-k-j loop order and OpenMP over rows, which is plenty for
-// the problem sizes in this repository (n up to ~20k, feature dims up to a
-// few thousand).
+// The matrix products (MatMul / MatMulTransA / MatMulTransB / Gemm) route
+// through the cache-blocked, register-tiled engine in linalg/gemm_kernels.h:
+// packed panels, a 4x8 micro-kernel (AVX2+FMA when the CPU has it, selected
+// once at startup), and OpenMP over row blocks. Tuning knobs and the kept
+// naive reference kernel live in that header. The matrix-vector products and
+// Transpose are OpenMP-parallel, cache-blocked loops.
+//
+// Numerical policy:
+//   * Repeated calls on identical inputs are bitwise identical for a fixed
+//     build and machine — accumulation order never depends on thread count.
+//   * Non-finite values propagate: kernels never skip a multiply because one
+//     operand is zero, so 0 * NaN = NaN and 0 * Inf = NaN reach the output
+//     exactly as IEEE arithmetic dictates. (The pre-blocking kernels
+//     short-circuited zero operands, silently dropping NaN/Inf from the
+//     other matrix.) The only zero tests are the BLAS-conventional ones on
+//     the *scalars* alpha (alpha == 0 skips the product entirely) and beta
+//     (beta == 0 overwrites C without reading it).
 #ifndef GCON_LINALG_OPS_H_
 #define GCON_LINALG_OPS_H_
 

@@ -8,15 +8,6 @@
 namespace gcon {
 namespace {
 
-// One APPR round: z <- (1-alpha) * T z + alpha * x.
-Matrix Round(const CsrMatrix& transition, const Matrix& z, const Matrix& x,
-             double alpha) {
-  Matrix next = transition.Multiply(z);
-  ScaleInPlace(1.0 - alpha, &next);
-  AxpyInPlace(alpha, x, &next);
-  return next;
-}
-
 double MaxAbsDiff(const Matrix& a, const Matrix& b) {
   double best = 0.0;
   for (std::size_t k = 0; k < a.size(); ++k) {
@@ -33,9 +24,15 @@ Matrix ApprPropagate(const CsrMatrix& transition, const Matrix& x, int m,
   GCON_CHECK_GE(m, 0);
   GCON_CHECK_GT(alpha, 0.0);
   GCON_CHECK_LE(alpha, 1.0);
+  if (m == 0) return x;
+  // Double-buffered fused rounds: z' <- (1-alpha) T z + alpha x is one
+  // SpmmAxpby pass per round, ping-ponging between two buffers instead of
+  // allocating a fresh matrix each round.
   Matrix z = x;
+  Matrix next(x.rows(), x.cols());
   for (int t = 0; t < m; ++t) {
-    z = Round(transition, z, x, alpha);
+    transition.SpmmAxpby(1.0 - alpha, z, alpha, x, &next);
+    std::swap(z, next);
   }
   return z;
 }
@@ -46,10 +43,11 @@ Matrix PprPropagate(const CsrMatrix& transition, const Matrix& x, double alpha,
   GCON_CHECK_LE(alpha, 1.0);
   if (alpha == 1.0) return x;  // R_inf = I when the walk restarts always.
   Matrix z = x;
+  Matrix next(x.rows(), x.cols());
   for (int t = 0; t < max_rounds; ++t) {
-    Matrix next = Round(transition, z, x, alpha);
+    transition.SpmmAxpby(1.0 - alpha, z, alpha, x, &next);
     const double diff = MaxAbsDiff(next, z);
-    z = std::move(next);
+    std::swap(z, next);
     if (diff < tolerance) break;
   }
   return z;

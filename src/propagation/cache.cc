@@ -1,0 +1,252 @@
+#include "propagation/cache.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <tuple>
+#include <utility>
+
+#include "common/timer.h"
+#include "propagation/appr.h"
+#include "propagation/transition.h"
+
+namespace gcon {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t FnvMix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64-style word mix: far cheaper than byte-wise FNV (the matrix
+  // hash runs over every element on every cache lookup, so it must be much
+  // faster than the propagation it short-circuits) while still diffusing
+  // every input bit across the state.
+  v *= 0x9E3779B97F4A7C15ull;
+  v ^= v >> 32;
+  h = (h ^ v) * 0xBF58476D1CE4E5B9ull;
+  return h ^ (h >> 29);
+}
+
+inline std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+std::uint64_t HashString(const std::string& s) {
+  std::uint64_t h = kFnvOffset;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t FingerprintGraph(const Graph& graph) {
+  std::uint64_t h = kFnvOffset;
+  h = FnvMix(h, static_cast<std::uint64_t>(graph.num_nodes()));
+  h = FnvMix(h, static_cast<std::uint64_t>(graph.num_classes()));
+  h = FnvMix(h, static_cast<std::uint64_t>(graph.num_edges()));
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    for (int u : graph.Neighbors(v)) {
+      h = FnvMix(h, static_cast<std::uint64_t>(u));
+    }
+    h = FnvMix(h, ~static_cast<std::uint64_t>(v));  // row separator
+  }
+  return h;
+}
+
+std::uint64_t HashMatrix(const Matrix& m) {
+  std::uint64_t h = kFnvOffset;
+  h = FnvMix(h, static_cast<std::uint64_t>(m.rows()));
+  h = FnvMix(h, static_cast<std::uint64_t>(m.cols()));
+  const double* d = m.data();
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    h = FnvMix(h, DoubleBits(d[k]));
+  }
+  return h;
+}
+
+bool PropagationCache::PropKey::operator<(const PropKey& o) const {
+  return std::tie(transition_key, x_hash, x_rows, x_cols, alpha, steps) <
+         std::tie(o.transition_key, o.x_hash, o.x_rows, o.x_cols, o.alpha,
+                  o.steps);
+}
+
+PropagationCache& PropagationCache::Global() {
+  static PropagationCache* cache = [] {
+    auto* c = new PropagationCache();
+    const char* env = std::getenv("GCON_PROPAGATION_CACHE");
+    if (env != nullptr && std::string(env) == "0") c->set_enabled(false);
+    return c;
+  }();
+  return *cache;
+}
+
+PropagationCache::CachedCsr PropagationCache::Transition(const Graph& graph,
+                                                         double p) {
+  const std::uint64_t fp = FingerprintGraph(graph);
+  return CsrLocked("transition", fp, p,
+                   [&] { return BuildTransition(graph, p); });
+}
+
+PropagationCache::CachedCsr PropagationCache::Adjacency(const Graph& graph) {
+  const std::uint64_t fp = FingerprintGraph(graph);
+  return CsrLocked("adjacency", fp, 0.0, [&] { return graph.AdjacencyCsr(); });
+}
+
+PropagationCache::CachedCsr PropagationCache::Csr(
+    const std::string& tag, std::uint64_t fingerprint,
+    const std::function<CsrMatrix()>& build) {
+  return CsrLocked(tag, fingerprint, 0.0, build);
+}
+
+PropagationCache::CachedCsr PropagationCache::CsrLocked(
+    const std::string& tag, std::uint64_t fingerprint, double param,
+    const std::function<CsrMatrix()>& build) {
+  std::uint64_t key = HashString(tag);
+  key = FnvMix(key, fingerprint);
+  key = FnvMix(key, DoubleBits(param));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!enabled_) {
+    lock.unlock();
+    return CachedCsr{std::make_shared<const CsrMatrix>(build()), /*key=*/0};
+  }
+  auto it = csr_store_.find(key);
+  if (it != csr_store_.end()) {
+    ++stats_.csr_hits;
+    stats_.hit_seconds_saved += it->second.build_seconds;
+    it->second.last_use = ++clock_;
+    return CachedCsr{it->second.csr, key};
+  }
+  ++stats_.csr_misses;
+  lock.unlock();
+  Timer timer;
+  auto csr = std::make_shared<const CsrMatrix>(build());
+  const double seconds = timer.Seconds();
+  lock.lock();
+  stats_.miss_build_seconds += seconds;
+  csr_store_[key] = CsrEntry{csr, seconds, ++clock_};
+  EvictIfNeededLocked();
+  return CachedCsr{std::move(csr), key};
+}
+
+Matrix PropagationCache::ConcatPropagate(const CsrMatrix& transition,
+                                         std::uint64_t transition_key,
+                                         const Matrix& x,
+                                         const std::vector<int>& steps,
+                                         double alpha) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // transition_key == 0 marks a transition the cache did not produce; the
+  // key could not distinguish it from another such matrix, so skip
+  // memoization rather than risk a false hit.
+  if (!enabled_ || transition_key == 0) {
+    lock.unlock();
+    return gcon::ConcatPropagate(transition, x, steps, alpha);
+  }
+  lock.unlock();
+
+  PropKey key{transition_key, HashMatrix(x), x.rows(), x.cols(), steps, alpha};
+
+  lock.lock();
+  auto it = prop_store_.find(key);
+  if (it != prop_store_.end()) {
+    ++stats_.propagation_hits;
+    stats_.hit_seconds_saved += it->second.build_seconds;
+    it->second.last_use = ++clock_;
+    return *it->second.z;
+  }
+  ++stats_.propagation_misses;
+  lock.unlock();
+  Timer timer;
+  auto z = std::make_shared<const Matrix>(
+      gcon::ConcatPropagate(transition, x, steps, alpha));
+  const double seconds = timer.Seconds();
+  lock.lock();
+  stats_.miss_build_seconds += seconds;
+  Matrix result = *z;
+  prop_store_[std::move(key)] = PropEntry{std::move(z), seconds, ++clock_};
+  EvictIfNeededLocked();
+  return result;
+}
+
+std::size_t PropagationCache::BytesLocked() const {
+  std::size_t bytes = 0;
+  for (const auto& kv : csr_store_) {
+    const CsrMatrix& m = *kv.second.csr;
+    bytes += m.row_ptr().size() * sizeof(std::int64_t) +
+             m.nnz() * (sizeof(std::int32_t) + sizeof(double));
+  }
+  for (const auto& kv : prop_store_) {
+    bytes += kv.second.z->size() * sizeof(double);
+  }
+  return bytes;
+}
+
+void PropagationCache::EvictIfNeededLocked() {
+  auto evict_lru_csr = [this] {
+    auto victim = csr_store_.begin();
+    for (auto it = csr_store_.begin(); it != csr_store_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    csr_store_.erase(victim);
+  };
+  auto evict_lru_prop = [this] {
+    auto victim = prop_store_.begin();
+    for (auto it = prop_store_.begin(); it != prop_store_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    prop_store_.erase(victim);
+  };
+  while (csr_store_.size() > max_entries_per_store_) evict_lru_csr();
+  while (prop_store_.size() > max_entries_per_store_) evict_lru_prop();
+  // Byte budget: propagation entries dominate (dense n x sd), evict them
+  // first, then CSRs.
+  while (BytesLocked() > max_bytes_ && !prop_store_.empty()) evict_lru_prop();
+  while (BytesLocked() > max_bytes_ && !csr_store_.empty()) evict_lru_csr();
+}
+
+PropagationCacheStats PropagationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PropagationCacheStats out = stats_;
+  out.entries = csr_store_.size() + prop_store_.size();
+  out.bytes = BytesLocked();
+  return out;
+}
+
+void PropagationCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = PropagationCacheStats{};
+}
+
+void PropagationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  csr_store_.clear();
+  prop_store_.clear();
+}
+
+bool PropagationCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void PropagationCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+  if (!enabled_) {
+    csr_store_.clear();
+    prop_store_.clear();
+  }
+}
+
+void PropagationCache::set_capacity(std::size_t max_entries_per_store,
+                                    std::size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_per_store_ = max_entries_per_store;
+  max_bytes_ = max_bytes;
+  EvictIfNeededLocked();
+}
+
+}  // namespace gcon

@@ -11,6 +11,7 @@ CsrMatrix BuildTransition(const Graph& graph, double p) {
   GCON_CHECK_LE(p, 0.5);
   const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
   CooBuilder builder(n, n);
+  builder.Reserve(2 * graph.num_edges() + n);
   for (int i = 0; i < graph.num_nodes(); ++i) {
     const double k = static_cast<double>(graph.Degree(i));
     const double off = std::min(1.0 / (k + 1.0), p);

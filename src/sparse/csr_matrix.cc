@@ -76,6 +76,35 @@ Matrix CsrMatrix::Multiply(const Matrix& x) const {
   return y;
 }
 
+void CsrMatrix::SpmmAxpby(double a, const Matrix& z, double b, const Matrix& x,
+                          Matrix* out) const {
+  GCON_CHECK_EQ(cols_, z.rows()) << "spmm: dim mismatch";
+  GCON_CHECK_EQ(x.rows(), rows_);
+  GCON_CHECK_EQ(x.cols(), z.cols());
+  GCON_CHECK(out != &z && out != &x) << "SpmmAxpby: out must not alias z/x";
+  const std::size_t d = z.cols();
+  if (out->rows() != rows_ || out->cols() != d) {
+    out->Resize(rows_, d);
+  }
+#pragma omp parallel for schedule(dynamic, 256)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(rows_); ++i) {
+    double* orow = out->RowPtr(static_cast<std::size_t>(i));
+    for (std::size_t j = 0; j < d; ++j) orow[j] = 0.0;
+    for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const double v = values_[static_cast<std::size_t>(k)];
+      const double* zrow = z.RowPtr(
+          static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)]));
+      for (std::size_t j = 0; j < d; ++j) {
+        orow[j] += v * zrow[j];
+      }
+    }
+    const double* xrow = x.RowPtr(static_cast<std::size_t>(i));
+    for (std::size_t j = 0; j < d; ++j) {
+      orow[j] = a * orow[j] + b * xrow[j];
+    }
+  }
+}
+
 std::vector<double> CsrMatrix::Multiply(const std::vector<double>& x) const {
   GCON_CHECK_EQ(cols_, x.size());
   std::vector<double> y(rows_, 0.0);
@@ -92,6 +121,7 @@ std::vector<double> CsrMatrix::Multiply(const std::vector<double>& x) const {
 
 CsrMatrix CsrMatrix::Transposed() const {
   CooBuilder builder(cols_, rows_);
+  builder.Reserve(nnz());
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
       builder.Add(static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)]),
@@ -109,6 +139,8 @@ void CsrMatrix::ScaleRows(const std::vector<double>& scale) {
     }
   }
 }
+
+void CooBuilder::Reserve(std::size_t n) { entries_.reserve(n); }
 
 void CooBuilder::Add(std::size_t i, std::size_t j, double value) {
   GCON_CHECK_LT(i, rows_);

@@ -53,6 +53,17 @@ class CsrMatrix {
   /// Y = this * X (SpMM). X: cols() x d, result rows() x d.
   Matrix Multiply(const Matrix& x) const;
 
+  /// Fused SpMM update: out = a * (this * z) + b * x, one pass over the
+  /// stored entries with no temporary. This is one APPR round
+  /// z' <- (1-alpha) Ã z + alpha x as a single kernel instead of
+  /// Multiply + ScaleInPlace + AxpyInPlace (which allocates a fresh matrix
+  /// and streams it three times). Per-element arithmetic matches the
+  /// three-op sequence bit-for-bit: a * sum + b * x with the same
+  /// accumulation order. `out` is resized to rows() x z.cols(); it must not
+  /// alias `z` or `x` (the output row doubles as the accumulator).
+  void SpmmAxpby(double a, const Matrix& z, double b, const Matrix& x,
+                 Matrix* out) const;
+
   /// y = this * x (SpMV).
   std::vector<double> Multiply(const std::vector<double>& x) const;
 
@@ -78,6 +89,11 @@ class CooBuilder {
 
   void Add(std::size_t i, std::size_t j, double value);
   std::size_t entry_count() const { return entries_.size(); }
+
+  /// Pre-allocates room for `n` triplets. Call before a bulk Add loop whose
+  /// size is known (transition/adjacency builds: 2|E| + n) to avoid
+  /// entry-by-entry vector growth.
+  void Reserve(std::size_t n);
 
   /// Builds the CSR matrix; the builder is left empty afterwards.
   CsrMatrix Build();

@@ -1,0 +1,206 @@
+// Blocked-GEMM engine vs the kept naive reference (linalg/gemm_kernels.h):
+// shape sweeps crossing every blocking boundary, alpha/beta handling, the
+// transposed drivers, empty operands, the parallelized matrix-vector /
+// transpose kernels, and the NaN/Inf propagation policy the old
+// zero-operand short-circuits violated.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/gemm_kernels.h"
+#include "linalg/matrix.h"
+#include "linalg/ops.h"
+#include "rng/rng.h"
+
+namespace gcon {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    m.data()[k] = rng->Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+Matrix ReferenceMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  internal::GemmReference(1.0, a, b, 0.0, &c);
+  return c;
+}
+
+// Shapes straddling the register tile (4x8), one MC/KC block, and the
+// fringe cases in between. 260 > KC? no — it crosses the MC=128 and the
+// micro-tile boundaries; 300 exercises a second k-slab via the k=300 case.
+struct Shape {
+  std::size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 7, 1},    {3, 5, 9},     {4, 8, 8},    {5, 9, 17},
+    {8, 300, 8},  {64, 3, 100}, {70, 70, 70},  {127, 31, 33}, {130, 257, 12},
+    {12, 12, 260},
+};
+
+TEST(BlockedGemm, MatchesReferenceAcrossShapes) {
+  Rng rng(101);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.m, s.k, &rng);
+    const Matrix b = RandomMatrix(s.k, s.n, &rng);
+    const Matrix got = MatMul(a, b);
+    const Matrix want = ReferenceMatMul(a, b);
+    EXPECT_TRUE(got.AllClose(want, 1e-10))
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(BlockedGemm, TransAMatchesReferenceAcrossShapes) {
+  Rng rng(103);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.k, s.m, &rng);  // op(A) = A^T is m x k
+    const Matrix b = RandomMatrix(s.k, s.n, &rng);
+    EXPECT_TRUE(MatMulTransA(a, b).AllClose(
+        ReferenceMatMul(Transpose(a), b), 1e-10))
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(BlockedGemm, TransBMatchesReferenceAcrossShapes) {
+  Rng rng(107);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.m, s.k, &rng);
+    const Matrix b = RandomMatrix(s.n, s.k, &rng);  // op(B) = B^T is k x n
+    EXPECT_TRUE(MatMulTransB(a, b).AllClose(
+        ReferenceMatMul(a, Transpose(b)), 1e-10))
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(BlockedGemm, AlphaBetaCombinations) {
+  Rng rng(109);
+  const Matrix a = RandomMatrix(37, 41, &rng);
+  const Matrix b = RandomMatrix(41, 29, &rng);
+  const Matrix c0 = RandomMatrix(37, 29, &rng);
+  const double alphas[] = {0.0, 1.0, -2.5, 0.75};
+  const double betas[] = {0.0, 1.0, -1.0, 0.5};
+  for (double alpha : alphas) {
+    for (double beta : betas) {
+      Matrix got = c0;
+      Gemm(alpha, a, b, beta, &got);
+      Matrix want = c0;
+      internal::GemmReference(alpha, a, b, beta, &want);
+      EXPECT_TRUE(got.AllClose(want, 1e-10))
+          << "alpha=" << alpha << " beta=" << beta;
+    }
+  }
+}
+
+TEST(BlockedGemm, BetaZeroOverwritesNanInC) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{3.0}, {4.0}};
+  Matrix c(1, 1);
+  c(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  Gemm(1.0, a, b, 0.0, &c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 11.0);
+}
+
+TEST(BlockedGemm, EmptyOperands) {
+  // k == 0: the product term is empty, C = beta * C.
+  Matrix c{{2.0, 4.0}};
+  Gemm(1.0, Matrix(1, 0), Matrix(0, 2), 0.5, &c);
+  EXPECT_TRUE(c.AllClose(Matrix{{1.0, 2.0}}));
+  // m == 0 / n == 0 products are legal no-ops of the right shape.
+  EXPECT_EQ(MatMul(Matrix(0, 3), Matrix(3, 2)).rows(), 0u);
+  EXPECT_EQ(MatMul(Matrix(2, 3), Matrix(3, 0)).cols(), 0u);
+}
+
+TEST(BlockedGemm, RepeatedCallsAreBitwiseIdentical) {
+  Rng rng(113);
+  const Matrix a = RandomMatrix(97, 130, &rng);
+  const Matrix b = RandomMatrix(130, 61, &rng);
+  const Matrix first = MatMul(a, b);
+  const Matrix second = MatMul(a, b);
+  EXPECT_TRUE(first.AllClose(second, 0.0));
+}
+
+// --- NaN/Inf policy ---------------------------------------------------------
+// The seed kernels skipped `av == 0` operands, so a NaN/Inf in the other
+// matrix silently vanished from the product. The blocked kernels (and the
+// rewritten MatVecTransA) must propagate them.
+
+TEST(NanPolicy, GemmPropagatesNanPastZeroInA) {
+  Matrix a(2, 2);  // all zeros
+  Matrix b(2, 2);
+  b(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  const Matrix c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+  EXPECT_TRUE(std::isnan(c(1, 0)));
+}
+
+TEST(NanPolicy, GemmPropagatesInfAsNanPastZero) {
+  Matrix a(1, 1);  // zero
+  Matrix b(1, 1);
+  b(0, 0) = std::numeric_limits<double>::infinity();
+  const Matrix c = MatMul(a, b);  // 0 * inf = NaN
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+}
+
+TEST(NanPolicy, TransAPropagatesNanPastZeroInA) {
+  Matrix a(2, 2);  // zeros; op(A) = A^T
+  Matrix b(2, 2);
+  b(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  const Matrix c = MatMulTransA(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 1)));
+}
+
+TEST(NanPolicy, MatVecTransAPropagatesNanPastZeroWeight) {
+  Matrix a{{std::numeric_limits<double>::quiet_NaN(), 1.0}};
+  const auto y = MatVecTransA(a, {0.0});
+  EXPECT_TRUE(std::isnan(y[0]));  // 0 * NaN
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+// --- parallelized aux kernels ----------------------------------------------
+
+TEST(ParallelKernels, MatVecMatchesManual) {
+  Rng rng(127);
+  const Matrix a = RandomMatrix(83, 217, &rng);
+  std::vector<double> x(217);
+  for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+  const auto y = MatVec(a, x);
+  for (std::size_t i : {std::size_t{0}, std::size_t{41}, std::size_t{82}}) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    EXPECT_NEAR(y[i], acc, 1e-10);
+  }
+}
+
+TEST(ParallelKernels, MatVecTransAMatchesTransposeMatVec) {
+  Rng rng(131);
+  // > 512 columns crosses the column-block boundary.
+  const Matrix a = RandomMatrix(37, 700, &rng);
+  std::vector<double> x(37);
+  for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+  const auto got = MatVecTransA(a, x);
+  const auto want = MatVec(Transpose(a), x);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t j = 0; j < got.size(); ++j) {
+    EXPECT_NEAR(got[j], want[j], 1e-10);
+  }
+}
+
+TEST(ParallelKernels, TransposeTiledMatchesElementwise) {
+  Rng rng(137);
+  const Matrix a = RandomMatrix(130, 67, &rng);  // crosses the 64-tile
+  const Matrix t = Transpose(a);
+  ASSERT_EQ(t.rows(), a.cols());
+  ASSERT_EQ(t.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(t(j, i), a(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcon

@@ -1,0 +1,254 @@
+// PropagationCache: hit ≡ recompute (bitwise), keying/invalidations,
+// eviction bounds, the disabled path, the fused SpmmAxpby round it builds
+// on, and the RunMethodRepeated share_data amortization counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/experiment.h"
+#include "graph/datasets.h"
+#include "linalg/ops.h"
+#include "propagation/appr.h"
+#include "propagation/cache.h"
+#include "propagation/transition.h"
+#include "rng/rng.h"
+#include "sparse/csr_matrix.h"
+
+namespace gcon {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    m.data()[k] = rng.Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+Graph MakeGraph(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return GenerateDataset(TinySpec(), &rng);
+}
+
+TEST(SpmmAxpby, MatchesThreeOpSequenceBitwise) {
+  const Graph graph = MakeGraph();
+  const CsrMatrix t = BuildTransition(graph);
+  const Matrix z = RandomMatrix(t.cols(), 9, 11);
+  const Matrix x = RandomMatrix(t.rows(), 9, 13);
+  const double a = 0.4, b = 0.6;
+
+  Matrix want = t.Multiply(z);
+  ScaleInPlace(a, &want);
+  AxpyInPlace(b, x, &want);
+
+  Matrix got;
+  t.SpmmAxpby(a, z, b, x, &got);
+  EXPECT_TRUE(got.AllClose(want, 0.0));  // same accumulation order: bitwise
+}
+
+TEST(SpmmAxpby, ReusesPreallocatedOutput) {
+  const Graph graph = MakeGraph();
+  const CsrMatrix t = BuildTransition(graph);
+  const Matrix z = RandomMatrix(t.cols(), 4, 17);
+  Matrix out(t.rows(), 4, /*value=*/123.0);  // stale contents must vanish
+  t.SpmmAxpby(1.0, z, 0.0, z, &out);
+  EXPECT_TRUE(out.AllClose(t.Multiply(z), 0.0));
+}
+
+TEST(CooBuilder, ReservePreservesSemantics) {
+  CooBuilder builder(3, 3);
+  builder.Reserve(4);
+  builder.Add(0, 1, 1.0);
+  builder.Add(0, 1, 2.0);  // duplicate merges
+  builder.Add(2, 0, 5.0);
+  const CsrMatrix m = builder.Build();
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 5.0);
+}
+
+TEST(PropagationCache, TransitionHitIsBitwiseIdenticalToRebuild) {
+  const Graph graph = MakeGraph();
+  PropagationCache cache;
+  const auto first = cache.Transition(graph);
+  const auto second = cache.Transition(graph);
+  EXPECT_EQ(first.key, second.key);
+  EXPECT_EQ(first.csr.get(), second.csr.get());  // same cached object
+  const CsrMatrix direct = BuildTransition(graph);
+  EXPECT_TRUE(first.csr->ToDense().AllClose(direct.ToDense(), 0.0));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.csr_misses, 1u);
+  EXPECT_EQ(stats.csr_hits, 1u);
+}
+
+TEST(PropagationCache, ConcatPropagateHitEqualsRecompute) {
+  const Graph graph = MakeGraph();
+  Matrix x = RandomMatrix(static_cast<std::size_t>(graph.num_nodes()), 8, 19);
+  RowL2NormalizeInPlace(&x);
+  const std::vector<int> steps = {0, 2};
+  PropagationCache cache;
+  const auto t = cache.Transition(graph);
+  const Matrix miss = cache.ConcatPropagate(*t.csr, t.key, x, steps, 0.6);
+  const Matrix hit = cache.ConcatPropagate(*t.csr, t.key, x, steps, 0.6);
+  const Matrix direct = ConcatPropagate(*t.csr, x, steps, 0.6);
+  EXPECT_TRUE(miss.AllClose(direct, 0.0));
+  EXPECT_TRUE(hit.AllClose(direct, 0.0));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.propagation_misses, 1u);
+  EXPECT_EQ(stats.propagation_hits, 1u);
+}
+
+TEST(PropagationCache, DistinctParametersAreDistinctEntries) {
+  const Graph graph = MakeGraph();
+  Matrix x = RandomMatrix(static_cast<std::size_t>(graph.num_nodes()), 4, 23);
+  PropagationCache cache;
+  const auto t = cache.Transition(graph);
+  const Matrix a = cache.ConcatPropagate(*t.csr, t.key, x, {2}, 0.6);
+  const Matrix b = cache.ConcatPropagate(*t.csr, t.key, x, {2}, 0.4);
+  const Matrix c = cache.ConcatPropagate(*t.csr, t.key, x, {1}, 0.6);
+  EXPECT_EQ(cache.stats().propagation_misses, 3u);
+  EXPECT_EQ(cache.stats().propagation_hits, 0u);
+  EXPECT_FALSE(a.AllClose(b, 1e-12));
+  EXPECT_FALSE(a.AllClose(c, 1e-12));
+}
+
+TEST(PropagationCache, EdgeMutationChangesFingerprint) {
+  Graph graph = MakeGraph();
+  PropagationCache cache;
+  const auto before = cache.Transition(graph);
+  // Flip one edge; the structural fingerprint must change so the cache
+  // cannot serve the stale transition.
+  int u = 0, v = 1;
+  if (!graph.AddEdge(u, v)) graph.RemoveEdge(u, v);
+  const auto after = cache.Transition(graph);
+  EXPECT_NE(before.key, after.key);
+  EXPECT_EQ(cache.stats().csr_misses, 2u);
+  EXPECT_EQ(cache.stats().csr_hits, 0u);
+}
+
+TEST(PropagationCache, DifferentFeaturesMissOnPropagation) {
+  const Graph graph = MakeGraph();
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  PropagationCache cache;
+  const auto t = cache.Transition(graph);
+  cache.ConcatPropagate(*t.csr, t.key, RandomMatrix(n, 4, 29), {2}, 0.5);
+  cache.ConcatPropagate(*t.csr, t.key, RandomMatrix(n, 4, 31), {2}, 0.5);
+  EXPECT_EQ(cache.stats().propagation_misses, 2u);
+}
+
+TEST(PropagationCache, UncachedTransitionKeyZeroNeverMemoizes) {
+  const Graph graph = MakeGraph();
+  const CsrMatrix t = BuildTransition(graph);
+  const Matrix x = RandomMatrix(static_cast<std::size_t>(graph.num_nodes()),
+                                4, 37);
+  PropagationCache cache;
+  cache.ConcatPropagate(t, /*transition_key=*/0, x, {2}, 0.5);
+  cache.ConcatPropagate(t, /*transition_key=*/0, x, {2}, 0.5);
+  EXPECT_EQ(cache.stats().propagation_hits, 0u);
+  EXPECT_EQ(cache.stats().propagation_misses, 0u);  // bypassed entirely
+}
+
+TEST(PropagationCache, DisabledCacheAlwaysRecomputes) {
+  const Graph graph = MakeGraph();
+  PropagationCache cache;
+  cache.set_enabled(false);
+  const auto a = cache.Transition(graph);
+  const auto b = cache.Transition(graph);
+  EXPECT_EQ(a.key, 0u);
+  EXPECT_NE(a.csr.get(), b.csr.get());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(PropagationCache, EntryCapEvictsLeastRecentlyUsed) {
+  PropagationCache cache;
+  cache.set_capacity(/*max_entries_per_store=*/2, /*max_bytes=*/1u << 30);
+  const Graph g1 = MakeGraph(41);
+  const Graph g2 = MakeGraph(43);
+  const Graph g3 = MakeGraph(47);
+  cache.Transition(g1);
+  cache.Transition(g2);
+  cache.Transition(g1);  // refresh g1 so g2 is the LRU victim
+  cache.Transition(g3);  // evicts g2
+  EXPECT_EQ(cache.stats().entries, 2u);
+  cache.Transition(g1);
+  EXPECT_EQ(cache.stats().csr_hits, 2u);
+  cache.Transition(g2);  // re-miss after eviction
+  EXPECT_EQ(cache.stats().csr_misses, 4u);
+}
+
+TEST(PropagationCache, ByteBudgetBoundsFootprint) {
+  PropagationCache cache;
+  cache.set_capacity(/*max_entries_per_store=*/64, /*max_bytes=*/1);
+  const Graph graph = MakeGraph();
+  cache.Transition(graph);
+  EXPECT_EQ(cache.stats().entries, 0u);  // everything evicted immediately
+}
+
+TEST(PropagationCache, HashMatrixSeparatesShapeAndContent) {
+  const Matrix a = RandomMatrix(4, 6, 51);
+  Matrix b = a;
+  EXPECT_EQ(HashMatrix(a), HashMatrix(b));
+  b(3, 5) = std::nextafter(b(3, 5), 2.0);  // one-ulp flip must change it
+  EXPECT_NE(HashMatrix(a), HashMatrix(b));
+  const Matrix flat(1, 24);
+  const Matrix tall(24, 1);
+  EXPECT_NE(HashMatrix(flat), HashMatrix(tall));
+}
+
+// Regression: with the cache disabled, CsrLocked's shared_ptr is the SOLE
+// owner of the built matrix — any caller binding a reference without
+// keeping the CachedCsr alive dangles (gap/dpsgd once segfaulted here).
+// Drives the methods that consume cached CSRs end-to-end on the disabled
+// global cache.
+TEST(PropagationCache, DisabledGlobalCacheTrainsAllCsrConsumers) {
+  PropagationCache::Global().set_enabled(false);
+  ModelConfig config;
+  config.Set("epsilon", "1.0");
+  for (const char* method : {"gap", "dpsgd", "gcn", "gcon"}) {
+    const MethodRunSummary summary = RunMethodRepeated(
+        method, config, TinySpec(), /*runs=*/1, /*base_seed=*/91);
+    EXPECT_GT(summary.runs.front().logits.size(), 0u) << method;
+  }
+  PropagationCache::Global().set_enabled(true);
+}
+
+// RunMethodRepeated with share_data: one dataset, runs-1 propagation hits;
+// the pinned seed makes the encoder output identical across runs, which is
+// exactly the repeated-measurement protocol the cache amortizes.
+TEST(PropagationCache, RunMethodRepeatedShareDataAmortizes) {
+  ModelConfig config;
+  config.Set("epsilon", "1.0");
+  config.Set("encoder_epochs", "20");
+  config.Set("max_iterations", "50");
+  config.Set("seed", "5");
+  RepeatOptions options;
+  options.share_data = true;
+  const MethodRunSummary summary = RunMethodRepeated(
+      "gcon", config, TinySpec(), /*runs=*/3, /*base_seed=*/77, options);
+  EXPECT_EQ(summary.cache.propagation_misses, 1u);
+  EXPECT_EQ(summary.cache.propagation_hits, 2u);
+  EXPECT_GE(summary.cache.csr_hits, 2u);
+  // Identical inputs end-to-end: the cache must not perturb determinism.
+  ASSERT_EQ(summary.runs.size(), 3u);
+  EXPECT_TRUE(summary.runs[0].logits.AllClose(summary.runs[1].logits, 0.0));
+}
+
+TEST(PropagationCache, ShareDataStillVariesModelSeedWhenUnpinned) {
+  ModelConfig config;
+  config.Set("epsilon", "1.0");
+  config.Set("encoder_epochs", "20");
+  config.Set("max_iterations", "50");
+  RepeatOptions options;
+  options.share_data = true;
+  const MethodRunSummary summary = RunMethodRepeated(
+      "gcon", config, TinySpec(), /*runs=*/2, /*base_seed=*/78, options);
+  // Different per-run seeds -> different encoder outputs -> no false
+  // propagation hits, but the shared graph still reuses its transition.
+  EXPECT_EQ(summary.cache.propagation_hits, 0u);
+  EXPECT_GE(summary.cache.csr_hits, 1u);
+  EXPECT_FALSE(summary.runs[0].logits.AllClose(summary.runs[1].logits, 1e-12));
+}
+
+}  // namespace
+}  // namespace gcon

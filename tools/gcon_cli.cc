@@ -9,11 +9,15 @@
 //            planetoid split and writes the release artifact.
 //   eval     --method=NAME [--set key=value]... [--dataset=cora_ml]
 //            [--scale=0.2] [--runs=1] [--epsilon=1] [--seed=1]
+//            [--share-data]
 //            Trains any method registered in the ModelRegistry on a
 //            synthetic dataset and reports micro/macro-F1, the privacy
 //            budget actually spent, and wall-clock time. --set overrides
 //            map onto the method's options struct; unknown methods or keys
-//            exit 2 with the registered alternatives.
+//            exit 2 with the registered alternatives. --share-data reuses
+//            one dataset across all runs (repeated-measurement protocol) so
+//            the propagation cache amortizes the precomputation; with
+//            --runs > 1 the cache hit/miss counters are printed.
 //   predict  --graph=in.graph --model=in.model [--labels]
 //            Loads an artifact, runs Eq. (16) private inference on the
 //            graph, and prints per-node argmax predictions (with micro-F1
@@ -51,6 +55,7 @@ const std::map<std::string, std::string> kSpec = {
     {"method", "registered method name (eval); see the list below"},
     {"set", "key=value config override (eval); repeatable"},
     {"runs", "independent repeats (eval, default 1)"},
+    {"share-data", "share one dataset across runs (eval; cache demo)"},
     {"epsilon", "privacy budget (train/eval)"},
     {"delta", "privacy delta; default 1/|directed edges|"},
     {"alpha", "APPR restart probability (default 0.8)"},
@@ -151,9 +156,11 @@ int CmdEval(const gcon::Flags& flags) {
     }
     const std::uint64_t seed =
         static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+    gcon::RepeatOptions options;
+    options.share_data = flags.GetBool("share-data", false);
 
     const gcon::MethodRunSummary summary =
-        gcon::RunMethodRepeated(method, config, spec, runs, seed);
+        gcon::RunMethodRepeated(method, config, spec, runs, seed, options);
     const gcon::TrainResult& first = summary.runs.front();
     std::cout << first.description << "\n"
               << "dataset " << spec.name << " scale "
@@ -167,6 +174,15 @@ int CmdEval(const gcon::Flags& flags) {
               << "epsilon spent  " << summary.epsilon_spent << " (delta "
               << summary.delta_spent << ")\n"
               << "train seconds  " << summary.train_seconds.mean << "\n";
+    if (runs > 1) {
+      const gcon::PropagationCacheDelta& cache = summary.cache;
+      std::cout << "propagation cache: csr(transition/adjacency) " << cache.csr_hits
+                << " hit / " << cache.csr_misses << " miss, propagate "
+                << cache.propagation_hits << " hit / "
+                << cache.propagation_misses << " miss, "
+                << cache.hit_seconds_saved << "s saved ("
+                << cache.miss_build_seconds << "s spent building)\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "eval: " << e.what() << "\n";
