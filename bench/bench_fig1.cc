@@ -36,6 +36,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "eval/experiment.h"
+#include "eval/parallel.h"
 #include "model/adapters.h"
 
 namespace gcon {
@@ -57,31 +58,54 @@ void RunDataset(const std::string& name, const BenchSettings& settings) {
   const DatasetSpec spec = Scaled(SpecByName(name), settings.scale);
   const std::uint64_t base_seed = 1000;
 
-  // scores[eps][method] -> per-run F1 values.
-  std::map<double, std::map<std::string, std::vector<double>>> scores;
-
+  // One cell per (method, eps) point — eps-independent methods (the MLP
+  // floor and GCN ceiling) collapse to a single cell replicated across
+  // rows. Cells are mutually independent, so they fan out across the
+  // worker pool (GCON_BENCH_THREADS); each writes only its own summary
+  // slot and the aggregation below runs in deterministic cell order.
+  struct Cell {
+    std::string method;
+    ModelConfig config;
+    bool swept = false;
+    double eps = 0.0;  // meaningful only when swept
+  };
+  std::vector<Cell> cells;
   for (const std::string& method : PaperMethodOrder()) {
     const ModelConfig base = MethodBenchConfig(method, name);
+    // Probe (cheap, constructor only) before the fan-out: UsesPrivacyBudget
+    // decides how many cells the method contributes.
     const bool swept =
         BuiltinModelRegistry().Create(method, base)->UsesPrivacyBudget();
     if (!swept) {
-      // eps-independent floor/ceiling: one summary, replicated per row.
-      const MethodRunSummary summary =
-          RunMethodRepeated(method, base, spec, settings.runs, base_seed);
-      for (double eps : kEpsilons) {
-        for (const TrainResult& run : summary.runs) {
-          scores[eps][method].push_back(run.test_micro_f1);
-        }
-      }
+      cells.push_back(Cell{method, base, false, 0.0});
       continue;
     }
     for (double eps : kEpsilons) {
       ModelConfig config = base;
       config.Set("epsilon", FormatDouble(eps, 6));
-      const MethodRunSummary summary =
-          RunMethodRepeated(method, config, spec, settings.runs, base_seed);
-      for (const TrainResult& run : summary.runs) {
-        scores[eps][method].push_back(run.test_micro_f1);
+      cells.push_back(Cell{method, config, true, eps});
+    }
+  }
+
+  std::vector<MethodRunSummary> summaries(cells.size());
+  ParallelFor(static_cast<int>(cells.size()), settings.threads, [&](int i) {
+    const Cell& cell = cells[static_cast<std::size_t>(i)];
+    summaries[static_cast<std::size_t>(i)] = RunMethodRepeated(
+        cell.method, cell.config, spec, settings.runs, base_seed);
+  });
+
+  // scores[eps][method] -> per-run F1 values.
+  std::map<double, std::map<std::string, std::vector<double>>> scores;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    for (const TrainResult& run : summaries[i].runs) {
+      if (cell.swept) {
+        scores[cell.eps][cell.method].push_back(run.test_micro_f1);
+      } else {
+        // eps-independent floor/ceiling: replicated into every row.
+        for (double eps : kEpsilons) {
+          scores[eps][cell.method].push_back(run.test_micro_f1);
+        }
       }
     }
   }

@@ -18,6 +18,7 @@
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "eval/experiment.h"
+#include "eval/parallel.h"
 #include "graph/stats.h"
 #include "model/adapters.h"
 #include "rng/rng.h"
@@ -64,23 +65,38 @@ void PrintUtilitySnapshot(const gcon::bench::BenchSettings& settings) {
     if (!known) methods.push_back(name);
   }
 
+  // Every (dataset, method) cell is independent: fan them out across the
+  // worker pool (GCON_BENCH_THREADS), then assemble the rows in order.
+  // Each cell is a deterministic function of (method, config, spec, seed),
+  // so the table is bitwise identical for any thread count.
+  const std::vector<gcon::DatasetSpec> specs = gcon::PaperSpecs();
+  const int num_cells = static_cast<int>(specs.size() * methods.size());
+  std::vector<gcon::MethodRunSummary> summaries(
+      static_cast<std::size_t>(num_cells));
+  gcon::ParallelFor(num_cells, settings.threads, [&](int i) {
+    const std::size_t d = static_cast<std::size_t>(i) / methods.size();
+    const std::size_t m = static_cast<std::size_t>(i) % methods.size();
+    gcon::ModelConfig config =
+        gcon::bench::MethodBenchConfig(methods[m], specs[d].name);
+    config.Set("epsilon", gcon::FormatDouble(eps, 6));
+    summaries[static_cast<std::size_t>(i)] = gcon::RunMethodRepeated(
+        methods[m], config, gcon::Scaled(specs[d], settings.scale),
+        settings.runs, /*base_seed=*/4242);
+  });
+
   gcon::SeriesTable table("Table III snapshot: test micro-F1 at eps=" +
                               gcon::FormatDouble(eps, 1) + " (scale " +
                               gcon::FormatDouble(settings.scale, 2) + ")",
                           "dataset", methods);
-  for (const gcon::DatasetSpec& base : gcon::PaperSpecs()) {
-    const gcon::DatasetSpec spec = gcon::Scaled(base, settings.scale);
+  for (std::size_t d = 0; d < specs.size(); ++d) {
     std::vector<double> means, stds;
-    for (const std::string& method : methods) {
-      gcon::ModelConfig config =
-          gcon::bench::MethodBenchConfig(method, base.name);
-      config.Set("epsilon", gcon::FormatDouble(eps, 6));
-      const gcon::MethodRunSummary summary = gcon::RunMethodRepeated(
-          method, config, spec, settings.runs, /*base_seed=*/4242);
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const gcon::MethodRunSummary& summary =
+          summaries[d * methods.size() + m];
       means.push_back(summary.test_micro_f1.mean);
       stds.push_back(summary.test_micro_f1.stddev);
     }
-    table.AddRow(base.name, means, stds);
+    table.AddRow(specs[d].name, means, stds);
   }
   table.Print(std::cout);
   if (gcon::EnvBool("GCON_BENCH_CSV", false)) table.PrintCsv(std::cout);

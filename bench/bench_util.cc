@@ -23,6 +23,7 @@ BenchSettings ReadSettings() {
     settings.scale = std::stod(scale_env);
   }
   settings.runs = EnvInt("GCON_BENCH_RUNS", settings.runs);
+  settings.threads = EnvInt("GCON_BENCH_THREADS", settings.threads);
   return settings;
 }
 

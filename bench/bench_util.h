@@ -2,9 +2,14 @@
 //
 // Every bench accepts the same environment knobs so the whole suite can be
 // run at CI scale by default and at paper scale on a real machine:
-//   GCON_BENCH_SCALE  dataset scale factor in (0, 1]   (default 0.25)
-//   GCON_BENCH_RUNS   independent runs per point       (default 2)
-//   GCON_BENCH_FULL   =1 -> scale 1.0 and 10 runs (the paper's protocol)
+//   GCON_BENCH_SCALE   dataset scale factor in (0, 1]   (default 0.25)
+//   GCON_BENCH_RUNS    independent runs per point       (default 2)
+//   GCON_BENCH_FULL    =1 -> scale 1.0 and 10 runs (the paper's protocol)
+//   GCON_BENCH_THREADS worker threads the (method, eps) / (dataset, method)
+//                      cells fan out across (default 1; 0 = all cores).
+//                      Results are bitwise independent of the thread count —
+//                      every cell is a deterministic function of its seeds
+//                      and writes only its own slot.
 //
 // Note on scale: shrinking the graphs shrinks n1, and GCON's effective
 // noise is B/n1 — so small scales understate GCON's advantage relative to
@@ -31,6 +36,7 @@ struct BenchSettings {
   double scale = 0.25;
   int runs = 2;
   bool full = false;
+  int threads = 1;  ///< cell-level fan-out (eval/parallel.h semantics)
 };
 
 /// Reads the env knobs described above.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/lgamma_safe.h"
 
 namespace gcon {
 namespace {
@@ -52,8 +53,8 @@ double RegularizedBetaI(double a, double b, double x) {
   GCON_CHECK_LE(x, 1.0);
   if (x == 0.0) return 0.0;
   if (x == 1.0) return 1.0;
-  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
-                           std::lgamma(b) + a * std::log(x) +
+  const double log_front = LGammaSafe(a + b) - LGammaSafe(a) -
+                           LGammaSafe(b) + a * std::log(x) +
                            b * std::log1p(-x);
   const double front = std::exp(log_front);
   // Use the continued fraction directly where it converges fast, and the
@@ -61,8 +62,8 @@ double RegularizedBetaI(double a, double b, double x) {
   if (x < (a + 1.0) / (a + b + 2.0)) {
     return front * BetaContinuedFraction(a, b, x) / a;
   }
-  return 1.0 - std::exp(std::lgamma(a + b) - std::lgamma(a) -
-                        std::lgamma(b) + a * std::log(x) +
+  return 1.0 - std::exp(LGammaSafe(a + b) - LGammaSafe(a) -
+                        LGammaSafe(b) + a * std::log(x) +
                         b * std::log1p(-x)) *
                    BetaContinuedFraction(b, a, 1.0 - x) / b;
 }

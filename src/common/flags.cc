@@ -18,7 +18,8 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
 }  // namespace
 
 Flags::Flags(int argc, char** argv,
-             const std::map<std::string, std::string>& spec)
+             const std::map<std::string, std::string>& spec,
+             const std::set<std::string>& switches)
     : program_(argc > 0 ? argv[0] : "prog"), spec_(spec) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -35,8 +36,12 @@ Flags::Flags(int argc, char** argv,
       value = body.substr(eq + 1);
     } else {
       name = body;
-      // "--name value" form: consume the next token if it is not a flag.
-      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      // "--name value" form: consume the next token — unless the flag is a
+      // declared switch (which never takes a separate-token value, so
+      // "--share-data eval" leaves "eval" positional) or the token is a
+      // flag itself.
+      if (switches.find(name) == switches.end() && i + 1 < argc &&
+          !StartsWith(argv[i + 1], "--")) {
         value = argv[++i];
       } else {
         value = "true";  // boolean switch
@@ -61,16 +66,46 @@ std::string Flags::GetString(const std::string& name,
   return it == values_.end() ? default_value : it->second;
 }
 
+void Flags::InvalidValue(const std::string& name, const std::string& value,
+                         const char* expected) const {
+  // std::stoi/stod used to escape here as an uncaught exception with no
+  // context; fail like the unknown-flag path instead — name the flag and
+  // show the usage.
+  std::cerr << "Invalid value for --" << name << ": '" << value
+            << "' (expected " << expected << ")\n"
+            << Usage();
+  std::exit(2);
+}
+
 int Flags::GetInt(const std::string& name, int default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  return std::stoi(it->second);
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(it->second, &consumed);
+    // Reject trailing junk ("12abc"), which std::stoi parses silently.
+    if (consumed != it->second.size()) {
+      InvalidValue(name, it->second, "an integer");
+    }
+    return value;
+  } catch (const std::exception&) {
+    InvalidValue(name, it->second, "an integer");
+  }
 }
 
 double Flags::GetDouble(const std::string& name, double default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  return std::stod(it->second);
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      InvalidValue(name, it->second, "a number");
+    }
+    return value;
+  } catch (const std::exception&) {
+    InvalidValue(name, it->second, "a number");
+  }
 }
 
 std::vector<std::string> Flags::GetList(const std::string& name) const {

@@ -1,13 +1,14 @@
 // Tiny command-line flag parser used by benches and examples.
 //
 // Supports "--name=value" and "--name value" forms plus boolean switches
-// ("--full"). Unknown flags abort with a usage message so typos in
-// experiment scripts fail loudly instead of silently running the default
-// configuration.
+// ("--full"). Unknown flags — and unparsable numeric values — abort with a
+// usage message so typos in experiment scripts fail loudly instead of
+// silently running the default configuration.
 #ifndef GCON_COMMON_FLAGS_H_
 #define GCON_COMMON_FLAGS_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,13 +19,21 @@ namespace gcon {
 class Flags {
  public:
   /// Parses argv. `spec` maps flag name -> help text; flags outside the spec
-  /// cause an abort with the rendered usage. Positional arguments are kept
-  /// in order and available via positional().
-  Flags(int argc, char** argv, const std::map<std::string, std::string>& spec);
+  /// cause an abort with the rendered usage. Names in `switches` are boolean
+  /// switches: "--share-data eval" leaves "eval" positional instead of
+  /// consuming it as the flag's value (the "--name=value" form still works
+  /// for them, e.g. "--share-data=false"). Flags outside `switches` keep the
+  /// greedy "--name value" behavior. Positional arguments are kept in order
+  /// and available via positional().
+  Flags(int argc, char** argv, const std::map<std::string, std::string>& spec,
+        const std::set<std::string>& switches = {});
 
   bool Has(const std::string& name) const;
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
+  /// Numeric accessors parse the whole stored value; a malformed one
+  /// ("--runs=abc", "--runs=12abc", an out-of-range literal) aborts with a
+  /// message naming the flag plus the rendered usage, exit code 2.
   int GetInt(const std::string& name, int default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
@@ -40,6 +49,11 @@ class Flags {
   std::string Usage() const;
 
  private:
+  /// Prints "Invalid value for --name ..." plus Usage() and exits 2.
+  [[noreturn]] void InvalidValue(const std::string& name,
+                                 const std::string& value,
+                                 const char* expected) const;
+
   std::string program_;
   std::map<std::string, std::string> spec_;
   std::map<std::string, std::string> values_;

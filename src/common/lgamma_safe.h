@@ -1,0 +1,32 @@
+// Thread-safe log-gamma.
+//
+// POSIX allows lgamma(3) to store the sign of Γ(x) in the global variable
+// `signgam`, and glibc does — so every std::lgamma call is an unsynchronized
+// write to shared state. Single-threaded that is invisible; with the
+// parallel experiment engine fanning runs across workers it is a data race
+// (ThreadSanitizer flags it in the Theorem 1 chain, the RDP accountant, and
+// the audit's Beta CDF, all of which evaluate log-gamma concurrently).
+// lgamma_r keeps the sign in a caller-provided local instead. Every Γ here
+// is evaluated at strictly positive arguments, where the sign is always +1
+// and can be discarded.
+#ifndef GCON_COMMON_LGAMMA_SAFE_H_
+#define GCON_COMMON_LGAMMA_SAFE_H_
+
+#include <cmath>
+
+namespace gcon {
+
+/// ln|Γ(x)| without the write to the process-global `signgam`.
+inline double LGammaSafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  // No known global-state lgamma outside the platforms above; fall back.
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace gcon
+
+#endif  // GCON_COMMON_LGAMMA_SAFE_H_

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/lgamma_safe.h"
 
 namespace gcon {
 namespace {
@@ -24,7 +25,7 @@ double GammaPSeries(double a, double x) {
     sum += term;
     if (std::abs(term) < std::abs(sum) * kEps) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LGammaSafe(a));
 }
 
 // Continued fraction for Q(a,x) = 1 - P(a,x) (Lentz's algorithm).
@@ -46,7 +47,7 @@ double GammaQContinuedFraction(double a, double x) {
     h *= delta;
     if (std::abs(delta - 1.0) < kEps) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - LGammaSafe(a));
 }
 
 }  // namespace

@@ -6,14 +6,15 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/lgamma_safe.h"
 
 namespace gcon {
 namespace {
 
 // log(n choose k) via lgamma.
 double LogBinom(int n, int k) {
-  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
-         std::lgamma(n - k + 1.0);
+  return LGammaSafe(n + 1.0) - LGammaSafe(k + 1.0) -
+         LGammaSafe(n - k + 1.0);
 }
 
 // Numerically stable log(sum(exp(terms))).

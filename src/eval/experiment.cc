@@ -6,10 +6,20 @@
 #include <ostream>
 
 #include "common/check.h"
+#include "eval/parallel.h"
 #include "model/adapters.h"
 #include "rng/rng.h"
 
 namespace gcon {
+
+void PropagationCacheDelta::Add(const PropagationCacheStats& stats) {
+  csr_hits += stats.csr_hits;
+  csr_misses += stats.csr_misses;
+  propagation_hits += stats.propagation_hits;
+  propagation_misses += stats.propagation_misses;
+  miss_build_seconds += stats.miss_build_seconds;
+  hit_seconds_saved += stats.hit_seconds_saved;
+}
 
 RunStats Summarize(const std::vector<double>& values) {
   RunStats stats;
@@ -37,9 +47,6 @@ MethodRunSummary RunMethodRepeated(const std::string& method,
   GCON_CHECK_GT(runs, 0) << "RunMethodRepeated needs at least one run";
   MethodRunSummary summary;
   summary.method = method;
-  std::vector<double> micro, macro, seconds;
-  const PropagationCacheStats cache_before =
-      PropagationCache::Global().stats();
 
   Graph shared_graph;
   Split shared_split;
@@ -49,7 +56,15 @@ MethodRunSummary RunMethodRepeated(const std::string& method,
     shared_split = MakeSplit(spec, shared_graph, &rng);
   }
 
-  for (int r = 0; r < runs; ++r) {
+  // Every run writes only its own slot, so the fan-out below cannot affect
+  // the aggregated summary: run r's inputs are a pure function of
+  // (base_seed + r, config, spec) and its cache events are tallied by a
+  // scope on the worker thread executing it.
+  std::vector<TrainResult> results(static_cast<std::size_t>(runs));
+  std::vector<PropagationCacheStats> run_cache(
+      static_cast<std::size_t>(runs));
+  ParallelFor(runs, options.threads, [&](int r) {
+    PropagationCacheStatsScope scope;
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(r);
     Graph local_graph;
     Split local_split;
@@ -68,7 +83,12 @@ MethodRunSummary RunMethodRepeated(const std::string& method,
     }
     std::unique_ptr<GraphModel> model =
         BuiltinModelRegistry().Create(method, run_config);
-    TrainResult result = model->Train(graph, split);
+    results[static_cast<std::size_t>(r)] = model->Train(graph, split);
+    run_cache[static_cast<std::size_t>(r)] = scope.stats();
+  });
+
+  std::vector<double> micro, macro, seconds;
+  for (TrainResult& result : results) {
     micro.push_back(result.test_micro_f1);
     macro.push_back(result.test_macro_f1);
     seconds.push_back(result.train_seconds);
@@ -80,19 +100,9 @@ MethodRunSummary RunMethodRepeated(const std::string& method,
   summary.test_macro_f1 = Summarize(macro);
   summary.train_seconds = Summarize(seconds);
 
-  const PropagationCacheStats cache_after = PropagationCache::Global().stats();
-  summary.cache.csr_hits =
-      cache_after.csr_hits - cache_before.csr_hits;
-  summary.cache.csr_misses =
-      cache_after.csr_misses - cache_before.csr_misses;
-  summary.cache.propagation_hits =
-      cache_after.propagation_hits - cache_before.propagation_hits;
-  summary.cache.propagation_misses =
-      cache_after.propagation_misses - cache_before.propagation_misses;
-  summary.cache.miss_build_seconds =
-      cache_after.miss_build_seconds - cache_before.miss_build_seconds;
-  summary.cache.hit_seconds_saved =
-      cache_after.hit_seconds_saved - cache_before.hit_seconds_saved;
+  for (const PropagationCacheStats& stats : run_cache) {
+    summary.cache.Add(stats);
+  }
   return summary;
 }
 

@@ -24,12 +24,18 @@ struct RunStats {
 /// Mean and sample standard deviation (n-1 denominator; 0 for n < 2).
 RunStats Summarize(const std::vector<double>& values);
 
-/// What the propagation cache did during one RunMethodRepeated call: the
-/// difference of PropagationCache::Global().stats() across the call. With
+/// What the propagation cache did during one RunMethodRepeated call:
+/// the sum of the per-run PropagationCacheStatsScope tallies, so it counts
+/// exactly this call's events even when other RunMethodRepeated calls (or
+/// any other cache users) are in flight on other threads. (The previous
+/// scheme — diffing PropagationCache::Global().stats() across the call —
+/// attributed every concurrent caller's events to this delta.) With
 /// share_data (and, for methods whose pre-propagation stage is seeded, a
-/// pinned "seed"), `propagation_hits` counts runs - 1 and
-/// `hit_seconds_saved` is the propagation wall-clock the cache amortized
-/// down to a single run's worth.
+/// pinned "seed"), sequential execution gives `propagation_hits` =
+/// runs - 1 and `hit_seconds_saved` is the propagation wall-clock the
+/// cache amortized down to a single run's worth; with threads > 1 the
+/// hit/miss *split* can shift (two runs racing on a cold key both build
+/// it) but the total hits + misses — and every training result — cannot.
 struct PropagationCacheDelta {
   std::uint64_t csr_hits = 0;
   std::uint64_t csr_misses = 0;
@@ -37,6 +43,9 @@ struct PropagationCacheDelta {
   std::uint64_t propagation_misses = 0;
   double miss_build_seconds = 0.0;
   double hit_seconds_saved = 0.0;
+
+  /// Merges one run's scope tally (PropagationCacheStatsScope::stats()).
+  void Add(const PropagationCacheStats& stats);
 };
 
 /// Aggregate of RunMethodRepeated: per-run TrainResults plus summary
@@ -61,6 +70,13 @@ struct RepeatOptions {
   /// runs and only the model seed varies — the repeated-measurement setting
   /// where the propagation cache amortizes the per-run precomputation.
   bool share_data = false;
+
+  /// Worker threads the runs fan out across (eval/parallel.h): 1 (default)
+  /// is the plain sequential loop, 0 means one per hardware thread. Every
+  /// run owns its model instance and derives its Rng from base_seed + r, so
+  /// the MethodRunSummary — per-run logits, metrics, and their order — is
+  /// bitwise identical for any thread count; only wall clock changes.
+  int threads = 1;
 };
 
 /// Trains the registered method `runs` times, each on an independently

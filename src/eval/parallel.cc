@@ -1,0 +1,54 @@
+#include "eval/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gcon {
+
+int ResolveThreads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  threads = ResolveThreads(threads);
+  if (threads > n) threads = n;
+  if (threads <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_acquire)) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 0; t < threads - 1; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is the last member of the pool
+  for (std::thread& t : pool) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace gcon

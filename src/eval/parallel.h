@@ -1,0 +1,37 @@
+// Deterministic worker pool for embarrassingly parallel experiment loops.
+//
+// The repeat/sweep drivers (RunMethodRepeated, the bench_fig1/bench_table2
+// cell loops, the epsilon_sweep example) execute many independent units of
+// work — one per run or per (method, epsilon) cell — whose outputs land in
+// preassigned slots. ParallelFor fans those indices out across a pool of
+// std::threads: workers pull indices from a shared atomic counter, so the
+// schedule is dynamic but the *outputs* are schedule-independent as long as
+// fn(i) writes only to slot i (each unit derives its own Rng from
+// base_seed + i and owns its model instance). threads <= 1 degenerates to
+// the plain sequential loop, in index order, with no pool spun up.
+//
+// Exceptions: the first exception thrown by any fn(i) is captured, the
+// remaining indices are abandoned, every worker is joined, and the
+// exception is rethrown on the calling thread — same observable contract
+// as the sequential loop, minus which index got to throw first.
+#ifndef GCON_EVAL_PARALLEL_H_
+#define GCON_EVAL_PARALLEL_H_
+
+#include <functional>
+
+namespace gcon {
+
+/// Worker count to actually use for a requested thread count: values >= 1
+/// pass through, 0 (and negatives) mean "one per hardware thread".
+int ResolveThreads(int requested);
+
+/// Executes fn(i) for every i in [0, n), fanning the indices out across
+/// `threads` workers (the calling thread participates, so `threads` is the
+/// total concurrency). fn must be safe to call concurrently from distinct
+/// threads for distinct indices and must write only to per-index state.
+/// threads <= 1 (after ResolveThreads) runs inline in index order.
+void ParallelFor(int n, int threads, const std::function<void(int)>& fn);
+
+}  // namespace gcon
+
+#endif  // GCON_EVAL_PARALLEL_H_

@@ -1,5 +1,6 @@
 #include "model/registry.h"
 
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -17,24 +18,31 @@ void ModelRegistry::Register(const std::string& name, Factory factory,
                              const std::string& summary) {
   GCON_CHECK(!name.empty()) << "model name must be non-empty";
   GCON_CHECK(factory != nullptr) << "null factory for model '" << name << "'";
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const bool inserted =
       entries_.emplace(name, Entry{std::move(factory), summary}).second;
   GCON_CHECK(inserted) << "model '" << name << "' registered twice";
 }
 
 bool ModelRegistry::Contains(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return entries_.find(name) != entries_.end();
 }
 
 std::unique_ptr<GraphModel> ModelRegistry::Create(
     const std::string& name, const ModelConfig& config) const {
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    throw std::invalid_argument("unknown method '" + name +
-                                "'; registered methods: " +
-                                Join(Names(), ", "));
+  Factory factory;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw std::invalid_argument("unknown method '" + name +
+                                  "'; registered methods: " +
+                                  Join(NamesLocked(), ", "));
+    }
+    factory = it->second.factory;
   }
-  std::unique_ptr<GraphModel> model = it->second.factory(config);
+  std::unique_ptr<GraphModel> model = factory(config);
   GCON_CHECK(model != nullptr)
       << "factory for model '" << name << "' returned null";
   // Adapters read every key they understand at construction time, so any
@@ -43,7 +51,7 @@ std::unique_ptr<GraphModel> ModelRegistry::Create(
   return model;
 }
 
-std::vector<std::string> ModelRegistry::Names() const {
+std::vector<std::string> ModelRegistry::NamesLocked() const {
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -53,7 +61,13 @@ std::vector<std::string> ModelRegistry::Names() const {
   return names;
 }
 
+std::vector<std::string> ModelRegistry::Names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return NamesLocked();
+}
+
 std::string ModelRegistry::Summary(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(name);
   return it == entries_.end() ? std::string() : it->second.summary;
 }

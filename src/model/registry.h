@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,15 @@ class ModelRegistry {
     Factory factory;
     std::string summary;
   };
+
+  std::vector<std::string> NamesLocked() const;
+
+  /// Lookups take shared locks so concurrent experiment workers can Create
+  /// models freely; Register takes the exclusive lock. (Registration in
+  /// practice happens once, inside BuiltinModelRegistry's magic static, but
+  /// the registry must not silently require that.) Factories run outside
+  /// the lock — a factory that registers models would deadlock otherwise.
+  mutable std::shared_mutex mu_;
   std::map<std::string, Entry> entries_;
 };
 

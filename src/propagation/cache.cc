@@ -68,6 +68,31 @@ std::uint64_t HashMatrix(const Matrix& m) {
   return h;
 }
 
+void PropagationCacheStats::AddEvents(const PropagationCacheStats& o) {
+  csr_hits += o.csr_hits;
+  csr_misses += o.csr_misses;
+  propagation_hits += o.propagation_hits;
+  propagation_misses += o.propagation_misses;
+  miss_build_seconds += o.miss_build_seconds;
+  hit_seconds_saved += o.hit_seconds_saved;
+}
+
+thread_local PropagationCacheStatsScope* PropagationCacheStatsScope::current_ =
+    nullptr;
+
+PropagationCacheStatsScope::PropagationCacheStatsScope() : prev_(current_) {
+  current_ = this;
+}
+
+PropagationCacheStatsScope::~PropagationCacheStatsScope() { current_ = prev_; }
+
+void PropagationCache::RecordScoped(const PropagationCacheStats& event) {
+  for (PropagationCacheStatsScope* scope = PropagationCacheStatsScope::current_;
+       scope != nullptr; scope = scope->prev_) {
+    scope->stats_.AddEvents(event);
+  }
+}
+
 bool PropagationCache::PropKey::operator<(const PropKey& o) const {
   return std::tie(transition_key, x_hash, x_rows, x_cols, alpha, steps) <
          std::tie(o.transition_key, o.x_hash, o.x_rows, o.x_cols, o.alpha,
@@ -116,18 +141,24 @@ PropagationCache::CachedCsr PropagationCache::CsrLocked(
   }
   auto it = csr_store_.find(key);
   if (it != csr_store_.end()) {
-    ++stats_.csr_hits;
-    stats_.hit_seconds_saved += it->second.build_seconds;
+    PropagationCacheStats event;
+    event.csr_hits = 1;
+    event.hit_seconds_saved = it->second.build_seconds;
+    stats_.AddEvents(event);
+    RecordScoped(event);
     it->second.last_use = ++clock_;
     return CachedCsr{it->second.csr, key};
   }
-  ++stats_.csr_misses;
   lock.unlock();
   Timer timer;
   auto csr = std::make_shared<const CsrMatrix>(build());
   const double seconds = timer.Seconds();
   lock.lock();
-  stats_.miss_build_seconds += seconds;
+  PropagationCacheStats event;
+  event.csr_misses = 1;
+  event.miss_build_seconds = seconds;
+  stats_.AddEvents(event);
+  RecordScoped(event);
   csr_store_[key] = CsrEntry{csr, seconds, ++clock_};
   EvictIfNeededLocked();
   return CachedCsr{std::move(csr), key};
@@ -153,19 +184,25 @@ Matrix PropagationCache::ConcatPropagate(const CsrMatrix& transition,
   lock.lock();
   auto it = prop_store_.find(key);
   if (it != prop_store_.end()) {
-    ++stats_.propagation_hits;
-    stats_.hit_seconds_saved += it->second.build_seconds;
+    PropagationCacheStats event;
+    event.propagation_hits = 1;
+    event.hit_seconds_saved = it->second.build_seconds;
+    stats_.AddEvents(event);
+    RecordScoped(event);
     it->second.last_use = ++clock_;
     return *it->second.z;
   }
-  ++stats_.propagation_misses;
   lock.unlock();
   Timer timer;
   auto z = std::make_shared<const Matrix>(
       gcon::ConcatPropagate(transition, x, steps, alpha));
   const double seconds = timer.Seconds();
   lock.lock();
-  stats_.miss_build_seconds += seconds;
+  PropagationCacheStats event;
+  event.propagation_misses = 1;
+  event.miss_build_seconds = seconds;
+  stats_.AddEvents(event);
+  RecordScoped(event);
   Matrix result = *z;
   prop_store_[std::move(key)] = PropEntry{std::move(z), seconds, ++clock_};
   EvictIfNeededLocked();

@@ -27,6 +27,12 @@
 // A hit is bitwise identical to the recompute it replaces, so determinism
 // guarantees pass through the cache unchanged. Disable with
 // GCON_PROPAGATION_CACHE=0 in the environment or set_enabled(false).
+//
+// Thread safety: every public method is safe to call concurrently (one
+// internal mutex; builds run outside it, so two threads missing the same
+// key both build — last insert wins, and both get bitwise-identical
+// values). stats() is the process-wide tally; per-call attribution under
+// concurrency goes through PropagationCacheStatsScope below.
 #ifndef GCON_PROPAGATION_CACHE_H_
 #define GCON_PROPAGATION_CACHE_H_
 
@@ -64,6 +70,48 @@ struct PropagationCacheStats {
   double hit_seconds_saved = 0.0;
   std::size_t entries = 0;
   std::size_t bytes = 0;
+
+  /// Accumulates the event counters of `o` (hits/misses/seconds). The
+  /// store-snapshot fields (entries, bytes) describe a moment, not events,
+  /// and are left untouched. Every tally in the codebase — the global
+  /// stats_, the per-thread scopes, RunMethodRepeated's per-run merge —
+  /// goes through this one place.
+  void AddEvents(const PropagationCacheStats& o);
+};
+
+/// RAII scope that counts the cache events performed *by the constructing
+/// thread* while it is alive — the per-call accounting that replaced the
+/// old "diff PropagationCache::Global().stats() across the call" scheme,
+/// which silently attributed every concurrent caller's events to whoever
+/// diffed (see RunMethodRepeated). Scopes nest: an event is credited to
+/// every scope on the current thread's stack, so an outer scope sees the
+/// sum of its inner scopes plus its own direct events. A scope never
+/// observes events from other threads; a worker that should contribute to
+/// a caller's tally opens its own scope and the caller merges the
+/// per-worker stats() snapshots (what RunMethodRepeated does per run).
+/// `entries`/`bytes` stay zero — they describe the store, not a call.
+/// Must be destroyed on the thread that constructed it, in LIFO order.
+class PropagationCacheStatsScope {
+ public:
+  PropagationCacheStatsScope();
+  ~PropagationCacheStatsScope();
+  PropagationCacheStatsScope(const PropagationCacheStatsScope&) = delete;
+  PropagationCacheStatsScope& operator=(const PropagationCacheStatsScope&) =
+      delete;
+
+  /// Events recorded so far; readable while the scope is still open (only
+  /// from the owning thread — there is no synchronization).
+  const PropagationCacheStats& stats() const { return stats_; }
+
+ private:
+  friend class PropagationCache;
+
+  /// Innermost open scope of the current thread (nullptr outside any
+  /// scope); chained through prev_ for nesting.
+  static thread_local PropagationCacheStatsScope* current_;
+
+  PropagationCacheStats stats_;
+  PropagationCacheStatsScope* prev_ = nullptr;
 };
 
 class PropagationCache {
@@ -142,6 +190,10 @@ class PropagationCache {
                       double param, const std::function<CsrMatrix()>& build);
   void EvictIfNeededLocked();
   std::size_t BytesLocked() const;
+
+  /// Credits a cache event (counter deltas in `event`) to every
+  /// PropagationCacheStatsScope open on the current thread.
+  static void RecordScoped(const PropagationCacheStats& event);
 
   mutable std::mutex mu_;
   bool enabled_ = true;

@@ -174,7 +174,13 @@ std::int64_t Rng::Binomial(std::int64_t n, double p) {
     }
     return count;
   }
-  if (mean < 64.0) {
+  // The header promises the normal approximation only where np(1-p) > 100;
+  // the old `mean >= 64` switch reached it with variance as low as 32,
+  // where the binomial is still visibly skewed. Anywhere below that
+  // threshold the mean is at most 100/(1-p) <= 200, so P(0) = (1-p)^n >=
+  // e^-300 stays comfortably above double underflow and the exact walk is
+  // both correct and cheap.
+  if (mean * (1.0 - p) <= 100.0) {
     // Inverse-CDF walk: P(k) follows the recurrence
     // P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p).
     const double q = 1.0 - p;

@@ -60,10 +60,11 @@ class Rng {
   /// This is the radius distribution of Eq. (14) in the paper.
   double Erlang(int shape, double rate);
 
-  /// Binomial(n, p). Exact summation for small n; inverse-CDF walk for
-  /// small mean; normal approximation (rounded, clamped) otherwise.
-  /// The approximation regime is only used when np(1-p) > 100, where the
-  /// relative error is negligible for simulation purposes.
+  /// Binomial(n, p). Exact summation for small n; inverse-CDF walk while
+  /// the variance np(1-p) is at most 100; normal approximation (rounded,
+  /// clamped) otherwise. The approximation regime is only entered when
+  /// np(1-p) > 100, where the relative error is negligible for simulation
+  /// purposes.
   std::int64_t Binomial(std::int64_t n, double p);
 
   /// Uniform direction on the unit sphere in R^d (d >= 1).

@@ -66,6 +66,78 @@ TEST(Flags, BooleanSwitch) {
   EXPECT_FALSE(flags.GetBool("absent", false));
 }
 
+TEST(Flags, DeclaredSwitchDoesNotSwallowNextToken) {
+  // The bug: `--share-data eval` consumed "eval" as the switch's value,
+  // so the subcommand vanished from positional().
+  const char* argv[] = {"prog", "--share-data", "eval"};
+  Flags flags(3, const_cast<char**>(argv),
+              {{"share-data", "share one dataset"}},
+              /*switches=*/{"share-data"});
+  EXPECT_TRUE(flags.GetBool("share-data", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "eval");
+}
+
+TEST(Flags, DeclaredSwitchStillAcceptsEqualsForm) {
+  const char* argv[] = {"prog", "--share-data=false", "eval"};
+  Flags flags(3, const_cast<char**>(argv),
+              {{"share-data", "share one dataset"}},
+              /*switches=*/{"share-data"});
+  EXPECT_FALSE(flags.GetBool("share-data", true));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "eval");
+}
+
+TEST(Flags, UndeclaredFlagKeepsGreedyValueForm) {
+  // Flags not named in `switches` keep the "--name value" behavior.
+  const char* argv[] = {"prog", "--runs", "7", "--share-data", "eval"};
+  Flags flags(5, const_cast<char**>(argv),
+              {{"runs", "repeats"}, {"share-data", "share"}},
+              /*switches=*/{"share-data"});
+  EXPECT_EQ(flags.GetInt("runs", 1), 7);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "eval");
+}
+
+TEST(FlagsDeathTest, MalformedIntNamesFlagAndPrintsUsage) {
+  // Used to escape as an uncaught std::invalid_argument from std::stoi
+  // with no hint of which flag was bad.
+  const char* argv[] = {"prog", "--runs=abc"};
+  Flags flags(2, const_cast<char**>(argv), {{"runs", "repeat count"}});
+  EXPECT_EXIT(flags.GetInt("runs", 1), ::testing::ExitedWithCode(2),
+              "Invalid value for --runs: 'abc'.*Usage: prog");
+}
+
+TEST(FlagsDeathTest, TrailingJunkIntRejected) {
+  const char* argv[] = {"prog", "--runs=12abc"};
+  Flags flags(2, const_cast<char**>(argv), {{"runs", "repeat count"}});
+  EXPECT_EXIT(flags.GetInt("runs", 1), ::testing::ExitedWithCode(2),
+              "Invalid value for --runs: '12abc'");
+}
+
+TEST(FlagsDeathTest, MalformedDoubleNamesFlagAndPrintsUsage) {
+  const char* argv[] = {"prog", "--scale=fast"};
+  Flags flags(2, const_cast<char**>(argv), {{"scale", "dataset scale"}});
+  EXPECT_EXIT(flags.GetDouble("scale", 1.0), ::testing::ExitedWithCode(2),
+              "Invalid value for --scale: 'fast'.*Usage: prog");
+}
+
+TEST(FlagsDeathTest, OutOfRangeIntRejected) {
+  const char* argv[] = {"prog", "--runs=99999999999999999999"};
+  Flags flags(2, const_cast<char**>(argv), {{"runs", "repeat count"}});
+  EXPECT_EXIT(flags.GetInt("runs", 1), ::testing::ExitedWithCode(2),
+              "Invalid value for --runs");
+}
+
+TEST(Flags, WellFormedNumericsStillParse) {
+  const char* argv[] = {"prog", "--runs=8", "--scale=0.25", "--shift=-3"};
+  Flags flags(4, const_cast<char**>(argv),
+              {{"runs", "r"}, {"scale", "s"}, {"shift", "t"}});
+  EXPECT_EQ(flags.GetInt("runs", 1), 8);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.25);
+  EXPECT_EQ(flags.GetInt("shift", 0), -3);
+}
+
 TEST(Flags, DefaultsWhenAbsent) {
   const char* argv[] = {"prog"};
   Flags flags(1, const_cast<char**>(argv), {{"x", "unused"}});

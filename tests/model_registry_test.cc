@@ -4,10 +4,12 @@
 // unknown names and typo'd keys must fail loudly.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/datasets.h"
@@ -177,6 +179,34 @@ TEST(ModelConfig, MalformedSetFlagThrows) {
   ModelConfig config;
   EXPECT_THROW(config.SetFromFlag("novalue"), std::invalid_argument);
   EXPECT_THROW(config.SetFromFlag("=5"), std::invalid_argument);
+}
+
+TEST(ModelRegistry, ConcurrentLookupsAreSafe) {
+  // The parallel experiment engine Creates a model per run from worker
+  // threads; lookups must tolerate full concurrency (shared locks — the
+  // CI ThreadSanitizer job runs this test under TSan).
+  BuiltinModelRegistry();  // registration happens-before the workers
+  std::vector<std::thread> workers;
+  std::atomic<int> created{0};
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&created, t] {
+      const std::vector<std::string> names = BuiltinModelRegistry().Names();
+      EXPECT_EQ(names.size(), 8u);
+      const std::string& method = names[static_cast<std::size_t>(t) %
+                                        names.size()];
+      EXPECT_TRUE(BuiltinModelRegistry().Contains(method));
+      EXPECT_FALSE(BuiltinModelRegistry().Summary(method).empty());
+      ModelConfig config;
+      if (method != "mlp" && method != "gcn") config.Set("epsilon", "1.0");
+      auto model = BuiltinModelRegistry().Create(method, config);
+      EXPECT_EQ(model->name(), method);
+      created.fetch_add(1);
+      EXPECT_THROW(BuiltinModelRegistry().Create("no-such-method", {}),
+                   std::invalid_argument);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(created.load(), 8);
 }
 
 TEST(ModelConfig, ParseStepsRejectsGarbage) {

@@ -3,7 +3,11 @@
 // on, and the RunMethodRepeated share_data amortization counters.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <thread>
 
 #include "eval/experiment.h"
 #include "graph/datasets.h"
@@ -232,6 +236,124 @@ TEST(PropagationCache, RunMethodRepeatedShareDataAmortizes) {
   // Identical inputs end-to-end: the cache must not perturb determinism.
   ASSERT_EQ(summary.runs.size(), 3u);
   EXPECT_TRUE(summary.runs[0].logits.AllClose(summary.runs[1].logits, 0.0));
+}
+
+TEST(PropagationCacheStatsScope, CountsOnlyOwnThreadAndNests) {
+  const Graph graph = MakeGraph(211);
+  PropagationCache cache;
+
+  PropagationCacheStatsScope outer;
+  cache.Transition(graph);  // miss, credited to outer
+  {
+    PropagationCacheStatsScope inner;
+    cache.Transition(graph);  // hit, credited to inner AND outer
+    EXPECT_EQ(inner.stats().csr_hits, 1u);
+    EXPECT_EQ(inner.stats().csr_misses, 0u);
+  }
+
+  // Another thread's events are invisible to this thread's scopes.
+  std::thread other([&] {
+    PropagationCacheStatsScope theirs;
+    cache.Transition(graph);
+    cache.Transition(graph);
+    EXPECT_EQ(theirs.stats().csr_hits, 2u);
+    EXPECT_EQ(theirs.stats().csr_misses, 0u);
+  });
+  other.join();
+
+  EXPECT_EQ(outer.stats().csr_misses, 1u);
+  EXPECT_EQ(outer.stats().csr_hits, 1u);  // the inner hit, not the thread's
+  // The global tally still sees everything.
+  EXPECT_EQ(cache.stats().csr_misses, 1u);
+  EXPECT_EQ(cache.stats().csr_hits, 3u);
+}
+
+// Helper for the concurrent-delta tests: the four counters of a delta (the
+// seconds fields are wall-clock and not comparable across runs).
+std::array<std::uint64_t, 4> Counters(const PropagationCacheDelta& d) {
+  return {d.csr_hits, d.csr_misses, d.propagation_hits, d.propagation_misses};
+}
+
+// The bug this PR fixes: PropagationCacheDelta used to be the diff of
+// PropagationCache::Global().stats() across the call, which credited every
+// concurrent caller's events to whoever diffed. Two RunMethodRepeated
+// calls in flight at once (different methods, different data, so their
+// cache keys never collide) must each report exactly the delta they report
+// when run alone.
+TEST(PropagationCache, ConcurrentRepeatedCallsReportTheirOwnDeltasExactly) {
+  PropagationCache::Global().Clear();
+  ModelConfig gcon_config;
+  gcon_config.Set("epsilon", "1.0");
+  gcon_config.Set("encoder_epochs", "20");
+  gcon_config.Set("max_iterations", "50");
+  gcon_config.Set("seed", "31");
+  ModelConfig gap_config;
+  gap_config.Set("epsilon", "1.0");
+  RepeatOptions share;
+  share.share_data = true;
+
+  // Baselines: each call alone on a cold store.
+  const PropagationCacheDelta gcon_alone =
+      RunMethodRepeated("gcon", gcon_config, TinySpec(), /*runs=*/3,
+                        /*base_seed=*/301, share)
+          .cache;
+  const PropagationCacheDelta gap_alone =
+      RunMethodRepeated("gap", gap_config, TinySpec(), /*runs=*/3,
+                        /*base_seed=*/401, share)
+          .cache;
+  // Sanity: the gcon share_data+pinned-seed protocol amortizes as ever.
+  EXPECT_EQ(gcon_alone.propagation_misses, 1u);
+  EXPECT_EQ(gcon_alone.propagation_hits, 2u);
+
+  // Same two calls, cold store again, but in flight simultaneously.
+  PropagationCache::Global().Clear();
+  PropagationCacheDelta gcon_delta, gap_delta;
+  std::thread gcon_thread([&] {
+    gcon_delta = RunMethodRepeated("gcon", gcon_config, TinySpec(), 3,
+                                   /*base_seed=*/301, share)
+                     .cache;
+  });
+  std::thread gap_thread([&] {
+    gap_delta = RunMethodRepeated("gap", gap_config, TinySpec(), 3,
+                                  /*base_seed=*/401, share)
+                    .cache;
+  });
+  gcon_thread.join();
+  gap_thread.join();
+
+  EXPECT_EQ(Counters(gcon_delta), Counters(gcon_alone));
+  EXPECT_EQ(Counters(gap_delta), Counters(gap_alone));
+}
+
+// Delta attribution survives unrelated cache traffic hammering the global
+// store from another thread while the measured call runs.
+TEST(PropagationCache, DeltaIgnoresConcurrentForeignTraffic) {
+  PropagationCache::Global().Clear();
+  std::atomic<bool> stop{false};
+  std::thread noise([&] {
+    const Graph foreign = MakeGraph(503);
+    while (!stop.load()) {
+      PropagationCache::Global().Transition(foreign);
+    }
+  });
+
+  ModelConfig config;
+  config.Set("epsilon", "1.0");
+  config.Set("encoder_epochs", "20");
+  config.Set("max_iterations", "50");
+  config.Set("seed", "37");
+  RepeatOptions share;
+  share.share_data = true;
+  const PropagationCacheDelta delta =
+      RunMethodRepeated("gcon", config, TinySpec(), /*runs=*/3,
+                        /*base_seed=*/601, share)
+          .cache;
+  stop.store(true);
+  noise.join();
+
+  // Exactly this call's protocol — none of the noise thread's hits/misses.
+  EXPECT_EQ(delta.propagation_misses, 1u);
+  EXPECT_EQ(delta.propagation_hits, 2u);
 }
 
 TEST(PropagationCache, ShareDataStillVariesModelSeedWhenUnpinned) {

@@ -198,6 +198,41 @@ TEST(Rng, BinomialNormalRegime) {
   EXPECT_NEAR(sq / n - mean * mean, trials * p * (1 - p), 100.0);
 }
 
+TEST(Rng, BinomialSkewedRegimeIsExact) {
+  // Regression for the doc/code mismatch: the header promises the normal
+  // approximation only when np(1-p) > 100, but the sampler used to switch
+  // at mean >= 64 — reaching the symmetric approximation where the true
+  // distribution is still visibly skewed. Binomial(6400, 0.01) has mean 64
+  // and variance 63.36, squarely in the once-misrouted band; its skewness
+  // (1-2p)/sqrt(np(1-p)) = 0.123 is ~11 sigma away from the approximation's
+  // 0 at this sample count.
+  Rng rng(77);
+  const std::int64_t trials = 6400;
+  const double p = 0.01;
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0, cube = 0.0;
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.Binomial(trials, p));
+    xs[static_cast<std::size_t>(i)] = x;
+    sum += x;
+  }
+  const double mean = sum / n;
+  for (double x : xs) {
+    const double d = x - mean;
+    sq += d * d;
+    cube += d * d * d;
+  }
+  const double variance = sq / n;
+  const double skewness = (cube / n) / std::pow(variance, 1.5);
+  const double expected_mean = trials * p;                    // 64
+  const double expected_var = trials * p * (1 - p);           // 63.36
+  const double expected_skew = (1 - 2 * p) / std::sqrt(expected_var);  // .123
+  EXPECT_NEAR(mean, expected_mean, 0.15);
+  EXPECT_NEAR(variance, expected_var, 2.0);
+  EXPECT_NEAR(skewness, expected_skew, 0.04);
+}
+
 TEST(Rng, BinomialEdgeCases) {
   Rng rng(15);
   EXPECT_EQ(rng.Binomial(0, 0.5), 0);

@@ -8,8 +8,8 @@
 //            Trains GCON on a gcon-graph file (see graph/io.h) using a
 //            planetoid split and writes the release artifact.
 //   eval     --method=NAME [--set key=value]... [--dataset=cora_ml]
-//            [--scale=0.2] [--runs=1] [--epsilon=1] [--seed=1]
-//            [--share-data]
+//            [--scale=0.2] [--runs=1] [--threads=1] [--epsilon=1]
+//            [--seed=1] [--share-data]
 //            Trains any method registered in the ModelRegistry on a
 //            synthetic dataset and reports micro/macro-F1, the privacy
 //            budget actually spent, and wall-clock time. --set overrides
@@ -32,6 +32,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,6 +56,7 @@ const std::map<std::string, std::string> kSpec = {
     {"method", "registered method name (eval); see the list below"},
     {"set", "key=value config override (eval); repeatable"},
     {"runs", "independent repeats (eval, default 1)"},
+    {"threads", "worker threads for --runs (eval, default 1; 0 = all cores)"},
     {"share-data", "share one dataset across runs (eval; cache demo)"},
     {"epsilon", "privacy budget (train/eval)"},
     {"delta", "privacy delta; default 1/|directed edges|"},
@@ -158,6 +160,9 @@ int CmdEval(const gcon::Flags& flags) {
         static_cast<std::uint64_t>(flags.GetInt("seed", 1));
     gcon::RepeatOptions options;
     options.share_data = flags.GetBool("share-data", false);
+    // Determinism holds for any thread count (each run derives its own Rng
+    // from seed + r and owns its model); --threads only changes wall clock.
+    options.threads = flags.GetInt("threads", 1);
 
     const gcon::MethodRunSummary summary =
         gcon::RunMethodRepeated(method, config, spec, runs, seed, options);
@@ -253,8 +258,12 @@ int CmdGenerate(const gcon::Flags& flags) {
 
 }  // namespace
 
+// Boolean switches must not swallow the next token: `gcon_cli eval
+// --share-data` used to eat "eval" when the switch came first.
+const std::set<std::string> kSwitches = {"share-data", "expand", "labels"};
+
 int main(int argc, char** argv) {
-  const gcon::Flags flags(argc, argv, kSpec);
+  const gcon::Flags flags(argc, argv, kSpec, kSwitches);
   if (flags.positional().empty()) {
     std::cerr << "usage: gcon_cli <train|eval|predict|stats|generate> "
                  "[flags]\n"
