@@ -1,0 +1,205 @@
+// Closed-loop load generator for the inference serving subsystem.
+//
+//   ./build/bench_serve [--clients=8] [--window=16] [--queries=30000]
+//                       [--threads=2] [--max_batch=64] [--max_wait_us=200]
+//                       [--dataset=cora_ml] [--scale=1.0] [--seed=1]
+//
+// Drives N pipelined closed-loop client threads (each keeps `window`
+// queries in flight and blocks on the oldest — the shape a real RPC client
+// produces) against an in-process InferenceServer over a synthetic
+// Cora-sized graph, twice: once with micro-batching disabled
+// (max_batch=1 — every query is its own batch, paying the full
+// queue/wakeup round trip) and once with the configured max_batch. Emits
+// one JSON object on stdout:
+//
+//   {"workload": ..., "nodes": ..., "clients": ..., "queries": ...,
+//    "threads": ..., "max_batch": ..., "max_wait_us": ...,
+//    "single":  {"qps": ..., "p50_us": ..., "p95_us": ..., "p99_us": ...,
+//                "mean_batch": ...},
+//    "batched": {...same keys...},
+//    "speedup": batched_qps / single_qps}
+//
+// CI gates speedup >= 2x (tools/bench_serve_json.sh -> BENCH_serve.json).
+// The artifact is synthesized (fresh Glorot encoder, random Θ) — serving
+// throughput does not care about model quality, and skipping training
+// keeps the bench honest about what it measures.
+//
+// GCON_SERVE_BENCH_QUERIES overrides --queries (CI sizing knob).
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/timer.h"
+#include "graph/datasets.h"
+#include "nn/mlp.h"
+#include "rng/rng.h"
+#include "serve/inference_session.h"
+#include "serve/server.h"
+
+namespace {
+
+gcon::GconArtifact SyntheticArtifact(const gcon::Graph& graph, int d1,
+                                     std::uint64_t seed) {
+  gcon::MlpOptions options;
+  options.dims = {graph.feature_dim(), 32, d1, graph.num_classes()};
+  options.seed = seed;
+  gcon::Mlp encoder(options);
+  const std::vector<int> steps = {0, 2};
+  gcon::Matrix theta(steps.size() * static_cast<std::size_t>(d1),
+                     static_cast<std::size_t>(graph.num_classes()));
+  gcon::Rng rng(seed + 1);
+  for (std::size_t k = 0; k < theta.size(); ++k) {
+    theta.data()[k] = rng.Uniform(-0.5, 0.5);
+  }
+  return gcon::GconArtifact{std::move(theta), std::move(encoder), steps,
+                            /*alpha=*/0.85,   /*alpha_inference=*/-1.0,
+                            /*epsilon=*/1.0,  /*delta=*/1e-5,
+                            gcon::PrivacyParams{}};
+}
+
+struct ModeResult {
+  double qps = 0.0;
+  gcon::LatencyStats::Snapshot latency;
+  double mean_batch = 0.0;
+};
+
+/// One closed-loop run: `clients` threads each keep `window` queries in
+/// flight (submit, then block on the oldest outstanding future — the
+/// pipelined closed loop a real RPC client runs), issuing `queries` total
+/// round-robin over the node ids.
+ModeResult RunMode(const gcon::GconArtifact& artifact,
+                   const gcon::Graph& graph, gcon::ServeOptions options,
+                   int clients, int queries, int window) {
+  gcon::InferenceServer server(gcon::InferenceSession(artifact, graph),
+                               options);
+  const int n = graph.num_nodes();
+
+  auto client_loop = [&](int first, int count) {
+    std::deque<std::future<gcon::ServeResponse>> inflight;
+    for (int q = 0; q < count; ++q) {
+      gcon::ServeRequest request;
+      request.id = first + q;
+      request.node = (first + q * 13) % n;
+      inflight.push_back(server.QueryAsync(request));
+      if (static_cast<int>(inflight.size()) >= window) {
+        inflight.front().get();
+        inflight.pop_front();
+      }
+    }
+    while (!inflight.empty()) {
+      inflight.front().get();
+      inflight.pop_front();
+    }
+  };
+
+  // Warm the workers, the allocator, and the GEMM dispatch before timing,
+  // then drop the warm-up traffic from every reported number.
+  client_loop(0, 200);
+  server.ResetStats();
+
+  const int per_client = queries / clients;
+  gcon::Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(client_loop, c * per_client, per_client);
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = timer.Seconds();
+
+  ModeResult result;
+  result.qps = static_cast<double>(per_client * clients) / seconds;
+  result.latency = server.latency();
+  result.mean_batch =
+      server.batches_run() == 0
+          ? 0.0
+          : static_cast<double>(server.queries_served()) /
+                static_cast<double>(server.batches_run());
+  return result;
+}
+
+void AppendMode(std::ostringstream* out, const char* key,
+                const ModeResult& result) {
+  *out << "\"" << key << "\": {\"qps\": " << result.qps
+       << ", \"p50_us\": " << result.latency.p50_us
+       << ", \"p95_us\": " << result.latency.p95_us
+       << ", \"p99_us\": " << result.latency.p99_us
+       << ", \"mean_us\": " << result.latency.mean_us
+       << ", \"mean_batch\": " << result.mean_batch << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gcon::Flags flags(
+      argc, argv,
+      {{"clients", "closed-loop client threads (default 8)"},
+       {"window", "pipelined queries in flight per client (default 16)"},
+       {"queries", "total timed queries per mode (default 30000)"},
+       {"threads", "server batch workers (default 2)"},
+       {"max_batch", "batched-mode coalescing limit (default 64)"},
+       {"max_wait_us", "batch coalescing deadline in us (default 200)"},
+       {"dataset", "synthetic dataset name (default cora_ml)"},
+       {"scale", "dataset scale factor (default 1.0)"},
+       {"seed", "RNG seed (default 1)"}});
+  const int clients = flags.GetPositiveInt("clients", 8);
+  const int window = flags.GetPositiveInt("window", 16);
+  const int queries = gcon::EnvInt("GCON_SERVE_BENCH_QUERIES",
+                                   flags.GetPositiveInt("queries", 30000));
+  gcon::ServeOptions batched;
+  batched.threads = flags.GetPositiveInt("threads", 2);
+  batched.max_batch = flags.GetPositiveInt("max_batch", 64);
+  batched.max_wait_us = flags.GetPositiveInt("max_wait_us", 200);
+
+  const gcon::DatasetSpec spec =
+      gcon::Scaled(gcon::SpecByName(flags.GetString("dataset", "cora_ml")),
+                   flags.GetDouble("scale", 1.0));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetPositiveInt("seed", 1));
+  gcon::Rng rng(seed);
+  const gcon::Graph graph = gcon::GenerateDataset(spec, &rng);
+  const gcon::GconArtifact artifact = SyntheticArtifact(graph, 16, seed);
+
+  gcon::ServeOptions single = batched;
+  single.max_batch = 1;
+
+  std::cerr << "bench_serve: " << spec.name << " (" << graph.num_nodes()
+            << " nodes), " << clients << " clients x "
+            << queries / clients << " queries, server threads="
+            << batched.threads << "\n";
+  const ModeResult single_result =
+      RunMode(artifact, graph, single, clients, queries, window);
+  std::cerr << "  max_batch=1:  " << static_cast<long>(single_result.qps)
+            << " QPS, " << single_result.latency.ToString() << "\n";
+  const ModeResult batched_result =
+      RunMode(artifact, graph, batched, clients, queries, window);
+  std::cerr << "  max_batch=" << batched.max_batch << ": "
+            << static_cast<long>(batched_result.qps) << " QPS, mean batch "
+            << batched_result.mean_batch << ", "
+            << batched_result.latency.ToString() << "\n";
+  const double speedup = single_result.qps > 0.0
+                             ? batched_result.qps / single_result.qps
+                             : 0.0;
+  std::cerr << "  micro-batching speedup: " << speedup << "x\n";
+
+  std::ostringstream out;
+  out.precision(6);
+  out << "{\"workload\": \"serve " << spec.name << "\", \"nodes\": "
+      << graph.num_nodes() << ", \"clients\": " << clients << ", \"window\": " << window
+      << ", \"queries\": " << queries
+      << ", \"threads\": " << batched.threads
+      << ", \"max_batch\": " << batched.max_batch
+      << ", \"max_wait_us\": " << batched.max_wait_us << ", ";
+  AppendMode(&out, "single", single_result);
+  out << ", ";
+  AppendMode(&out, "batched", batched_result);
+  out << ", \"speedup\": " << speedup << "}";
+  std::cout << out.str() << std::endl;
+  return 0;
+}

@@ -1,11 +1,10 @@
 #include "baselines/mlp_baseline.h"
 
-#include "nn/mlp.h"
-
 namespace gcon {
 
 Matrix TrainMlpAndPredict(const Graph& graph, const Split& split,
-                          const MlpBaselineOptions& options) {
+                          const MlpBaselineOptions& options,
+                          std::unique_ptr<Mlp>* trained) {
   MlpOptions mlp_options;
   mlp_options.dims = {graph.feature_dim(), options.hidden,
                       graph.num_classes()};
@@ -14,9 +13,13 @@ Matrix TrainMlpAndPredict(const Graph& graph, const Split& split,
   mlp_options.weight_decay = options.weight_decay;
   mlp_options.epochs = options.epochs;
   mlp_options.seed = options.seed;
-  Mlp mlp(mlp_options);
-  mlp.Train(graph.features(), graph.labels(), split.train, split.val);
-  return mlp.Forward(graph.features());
+  auto mlp = std::make_unique<Mlp>(mlp_options);
+  mlp->Train(graph.features(), graph.labels(), split.train, split.val);
+  Matrix logits = mlp->Forward(graph.features());
+  if (trained != nullptr) {
+    *trained = std::move(mlp);
+  }
+  return logits;
 }
 
 }  // namespace gcon

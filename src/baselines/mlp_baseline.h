@@ -6,10 +6,12 @@
 #define GCON_BASELINES_MLP_BASELINE_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "graph/graph.h"
 #include "graph/splits.h"
 #include "linalg/matrix.h"
+#include "nn/mlp.h"
 
 namespace gcon {
 
@@ -21,9 +23,14 @@ struct MlpBaselineOptions {
   std::uint64_t seed = 1;
 };
 
-/// Trains a 2-layer MLP on node features and returns logits for all nodes.
+/// Trains a 2-layer MLP on node features and returns logits for all nodes
+/// (computed as one Forward on the final weights). When `trained` is
+/// non-null it receives the fitted network, so callers can persist it or
+/// serve other feature matrices — recomputing Forward on the same inputs
+/// reproduces the returned logits bitwise.
 Matrix TrainMlpAndPredict(const Graph& graph, const Split& split,
-                          const MlpBaselineOptions& options);
+                          const MlpBaselineOptions& options,
+                          std::unique_ptr<Mlp>* trained = nullptr);
 
 }  // namespace gcon
 

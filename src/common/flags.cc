@@ -93,6 +93,15 @@ int Flags::GetInt(const std::string& name, int default_value) const {
   }
 }
 
+int Flags::GetPositiveInt(const std::string& name, int default_value) const {
+  const int value = GetInt(name, default_value);
+  if (value < 1) {
+    InvalidValue(name, GetString(name, std::to_string(default_value)),
+                 "a positive integer");
+  }
+  return value;
+}
+
 double Flags::GetDouble(const std::string& name, double default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;

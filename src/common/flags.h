@@ -35,6 +35,11 @@ class Flags {
   /// ("--runs=abc", "--runs=12abc", an out-of-range literal) aborts with a
   /// message naming the flag plus the rendered usage, exit code 2.
   int GetInt(const std::string& name, int default_value) const;
+  /// GetInt plus a positivity requirement: 0 and negatives abort with a
+  /// message naming the flag ("--threads: ... expected a positive
+  /// integer"). For knobs where zero is not a mode but a mistake
+  /// (serve --threads/--max_batch/--max_wait_us, eval --runs).
+  int GetPositiveInt(const std::string& name, int default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
 

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/check.h"
 #include "linalg/ops.h"
@@ -11,6 +12,18 @@
 #include "propagation/cache.h"
 
 namespace gcon {
+namespace {
+
+// All artifact I/O failures are environmental (missing file, truncation,
+// version skew), not programming errors: report them with the path and the
+// specific defect so `gcon_cli predict/serve` and GraphModel::Load callers
+// can print something actionable instead of aborting.
+[[noreturn]] void BadArtifact(const std::string& path,
+                              const std::string& what) {
+  throw std::runtime_error("model artifact '" + path + "': " + what);
+}
+
+}  // namespace
 
 Matrix GconArtifact::Infer(const Graph& graph) const {
   Matrix encoded = encoder.HiddenRepresentation(graph.features(),
@@ -39,22 +52,11 @@ Matrix GconArtifact::Infer(const Graph& graph) const {
   return MatMul(ConcatCols(blocks), theta);
 }
 
-GconArtifact MakeArtifact(const GconPrepared& prepared, const GconModel& model,
-                          double epsilon, double delta) {
-  GconArtifact artifact{model.theta,
-                        prepared.encoder_mlp,
-                        prepared.config.steps,
-                        prepared.config.alpha,
-                        prepared.config.alpha_inference,
-                        epsilon,
-                        delta,
-                        model.params};
-  return artifact;
-}
-
 void SaveModel(const GconArtifact& artifact, const std::string& path) {
   std::ofstream out(path);
-  GCON_CHECK(out.good()) << "cannot open " << path << " for writing";
+  if (!out.good()) {
+    BadArtifact(path, "cannot open for writing");
+  }
   out << std::setprecision(17);
   out << "gcon-model v1\n";
   out << "alpha " << artifact.alpha << "\n";
@@ -79,21 +81,49 @@ void SaveModel(const GconArtifact& artifact, const std::string& path) {
     out << "\n";
   }
   SaveMlp(artifact.encoder, &out);
-  GCON_CHECK(out.good()) << "write failure on " << path;
+  if (!out.good()) {
+    BadArtifact(path, "write failure (disk full or file removed mid-write?)");
+  }
+}
+
+GconArtifact MakeArtifact(const GconPrepared& prepared, const GconModel& model,
+                          double epsilon, double delta) {
+  GconArtifact artifact{model.theta,
+                        prepared.encoder_mlp,
+                        prepared.config.steps,
+                        prepared.config.alpha,
+                        prepared.config.alpha_inference,
+                        epsilon,
+                        delta,
+                        model.params};
+  return artifact;
 }
 
 GconArtifact LoadModel(const std::string& path) {
   std::ifstream in(path);
-  GCON_CHECK(in.good()) << "cannot open " << path;
+  if (!in.good()) {
+    BadArtifact(path, "cannot open (missing file or no read permission)");
+  }
   std::string line;
-  GCON_CHECK(static_cast<bool>(std::getline(in, line)));
-  GCON_CHECK_EQ(line, std::string("gcon-model v1")) << "bad magic: " << line;
+  if (!std::getline(in, line)) {
+    BadArtifact(path, "empty file (want a 'gcon-model v1' header)");
+  }
+  if (line != "gcon-model v1") {
+    BadArtifact(path, "bad magic '" + line +
+                          "' (want 'gcon-model v1' — not a model artifact, "
+                          "or written by an incompatible version)");
+  }
 
-  auto read_kv = [&in](const char* key) {
+  auto read_kv = [&in, &path](const char* key) {
     std::string word;
     double value = 0.0;
-    in >> word >> value;
-    GCON_CHECK_EQ(word, std::string(key)) << "expected " << key;
+    if (!(in >> word >> value)) {
+      BadArtifact(path, std::string("truncated before key '") + key + "'");
+    }
+    if (word != key) {
+      BadArtifact(path, "expected key '" + std::string(key) + "', got '" +
+                            word + "' (out-of-order or corrupted header)");
+    }
     return value;
   };
   const double alpha = read_kv("alpha");
@@ -107,25 +137,38 @@ GconArtifact LoadModel(const std::string& path) {
 
   std::string word;
   std::size_t step_count = 0;
-  in >> word >> step_count;
-  GCON_CHECK_EQ(word, std::string("steps"));
+  if (!(in >> word >> step_count) || word != "steps") {
+    BadArtifact(path, "missing 'steps' section");
+  }
   std::vector<int> steps(step_count);
   for (auto& m : steps) {
-    in >> m;
+    if (!(in >> m)) {
+      BadArtifact(path, "truncated steps list (want " +
+                            std::to_string(step_count) + " entries)");
+    }
   }
 
   std::size_t rows = 0, cols = 0;
-  in >> word >> rows >> cols;
-  GCON_CHECK_EQ(word, std::string("theta"));
+  if (!(in >> word >> rows >> cols) || word != "theta") {
+    BadArtifact(path, "missing 'theta' section header");
+  }
   Matrix theta(rows, cols);
   for (std::size_t k = 0; k < theta.size(); ++k) {
-    GCON_CHECK(static_cast<bool>(in >> theta.data()[k])) << "truncated theta";
+    if (!(in >> theta.data()[k])) {
+      BadArtifact(path, "truncated theta block (want " +
+                            std::to_string(theta.size()) + " values, got " +
+                            std::to_string(k) + ")");
+    }
   }
 
-  Mlp encoder = LoadMlp(&in);
-  return GconArtifact{std::move(theta), std::move(encoder), std::move(steps),
-                      alpha,            alpha_inference,    epsilon,
-                      delta,            params};
+  try {
+    Mlp encoder = LoadMlp(&in);
+    return GconArtifact{std::move(theta), std::move(encoder), std::move(steps),
+                        alpha,            alpha_inference,    epsilon,
+                        delta,            params};
+  } catch (const std::runtime_error& e) {
+    BadArtifact(path, e.what());
+  }
 }
 
 }  // namespace gcon

@@ -41,10 +41,14 @@ struct GconArtifact {
 GconArtifact MakeArtifact(const GconPrepared& prepared, const GconModel& model,
                           double epsilon, double delta);
 
-/// Writes the artifact to `path`. Aborts on I/O failure.
+/// Writes the artifact to `path`. Throws std::runtime_error naming the path
+/// when the file cannot be opened or the write fails.
 void SaveModel(const GconArtifact& artifact, const std::string& path);
 
-/// Reads an artifact previously written by SaveModel.
+/// Reads an artifact previously written by SaveModel. Throws
+/// std::runtime_error naming `path` and the defect — missing file, wrong
+/// magic/version, out-of-order key, truncated theta/MLP block — so a bad
+/// artifact is a reportable condition instead of an abort.
 GconArtifact LoadModel(const std::string& path);
 
 }  // namespace gcon

@@ -1,17 +1,126 @@
 #include "eval/parallel.h"
 
-#include <atomic>
 #include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 namespace gcon {
+namespace {
+
+// True while the current thread is executing inside a WorkerPool job
+// (as the caller or as a pool worker). A nested Run on such a thread must
+// not wait on job_mu_ — the outer job holds it — so it runs inline.
+thread_local bool t_inside_pool_job = false;
+
+}  // namespace
 
 int ResolveThreads(int requested) {
   if (requested >= 1) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+WorkerPool& WorkerPool::Global() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+int WorkerPool::resident_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void WorkerPool::EnsureWorkersLocked(int needed) {
+  while (static_cast<int>(workers_.size()) < needed) {
+    workers_.emplace_back(&WorkerPool::WorkerMain, this);
+  }
+}
+
+void WorkerPool::Drain(int n, const std::function<void(int)>& fn) {
+  while (!failed_.load(std::memory_order_acquire)) {
+    const int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      fn(i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+      }
+      failed_.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void WorkerPool::WorkerMain() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    if (!open_ || claimed_ >= max_claims_) continue;
+    ++claimed_;
+    ++active_;
+    const int n = n_;
+    const std::function<void(int)>* fn = fn_;
+    lock.unlock();
+    t_inside_pool_job = true;
+    Drain(n, *fn);
+    t_inside_pool_job = false;
+    lock.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::Run(int n, int threads, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (threads > n) threads = n;
+  if (threads <= 1 || t_inside_pool_job) {
+    // Sequential degeneration, and the nested case: the outer job owns
+    // job_mu_, so run the indices on this thread in order.
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkersLocked(threads - 1);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    claimed_ = 0;
+    active_ = 0;
+    max_claims_ = threads - 1;
+    open_ = true;
+    ++generation_;
+    work_cv_.notify_all();
+  }
+
+  t_inside_pool_job = true;
+  Drain(n, fn);
+  t_inside_pool_job = false;
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    open_ = false;  // late-waking workers must not claim a finished job
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    fn_ = nullptr;
+    error = first_error_;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
@@ -22,33 +131,7 @@ void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
-
-  std::atomic<int> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-
-  auto worker = [&] {
-    while (!failed.load(std::memory_order_acquire)) {
-      const int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error == nullptr) first_error = std::current_exception();
-        failed.store(true, std::memory_order_release);
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads - 1));
-  for (int t = 0; t < threads - 1; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread is the last member of the pool
-  for (std::thread& t : pool) t.join();
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  WorkerPool::Global().Run(n, threads, fn);
 }
 
 }  // namespace gcon

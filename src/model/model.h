@@ -139,7 +139,10 @@ class GraphModel {
   virtual Matrix Predict(const Graph& graph) const = 0;
 
   /// Persists the trained model; returns false when the method has no
-  /// serialization format (only GCON publishes a release artifact today).
+  /// serialization format (today GCON publishes its release artifact and
+  /// the edge-free MLP persists its network; the other baselines return
+  /// false). Implementations throw std::runtime_error naming the path on
+  /// I/O failure.
   virtual bool Save(const std::string& path) const;
 
   /// Loads a model previously written by Save; returns false when

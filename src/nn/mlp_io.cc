@@ -3,12 +3,19 @@
 #include <iomanip>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
-
-#include "common/check.h"
 
 namespace gcon {
 namespace {
+
+// Malformed persisted input is an environmental error, not a programming
+// error: report it as an exception the caller can attach a file path to,
+// instead of aborting the process.
+[[noreturn]] void Malformed(const std::string& what) {
+  throw std::runtime_error("mlp block: " + what);
+}
 
 const char* ActivationName(Activation act) {
   switch (act) {
@@ -41,13 +48,31 @@ void ReadMatrixInto(const char* tag, int expected_layer, std::istream* in,
   std::string word;
   int layer = 0;
   std::size_t rows = 0, cols = 0;
-  *in >> word >> layer >> rows >> cols;
-  GCON_CHECK_EQ(word, std::string(tag)) << "expected " << tag;
-  GCON_CHECK_EQ(layer, expected_layer);
-  GCON_CHECK_EQ(rows, m->rows()) << "layer " << layer << " shape mismatch";
-  GCON_CHECK_EQ(cols, m->cols());
+  if (!(*in >> word >> layer >> rows >> cols)) {
+    Malformed(std::string("truncated before the ") + tag + " header of layer " +
+              std::to_string(expected_layer));
+  }
+  if (word != tag) {
+    Malformed("expected '" + std::string(tag) + "' for layer " +
+              std::to_string(expected_layer) + ", got '" + word + "'");
+  }
+  if (layer != expected_layer) {
+    Malformed(std::string(tag) + " layer out of order: want " +
+              std::to_string(expected_layer) + ", got " +
+              std::to_string(layer));
+  }
+  if (rows != m->rows() || cols != m->cols()) {
+    std::ostringstream msg;
+    msg << tag << " " << layer << " shape " << rows << "x" << cols
+        << " does not match the declared architecture (" << m->rows() << "x"
+        << m->cols() << ")";
+    Malformed(msg.str());
+  }
   for (std::size_t k = 0; k < m->size(); ++k) {
-    GCON_CHECK(static_cast<bool>(*in >> m->data()[k])) << "truncated matrix";
+    if (!(*in >> m->data()[k])) {
+      Malformed(std::string("truncated ") + tag + " matrix of layer " +
+                std::to_string(layer));
+    }
   }
 }
 
@@ -69,19 +94,27 @@ void SaveMlp(const Mlp& mlp, std::ostream* out) {
 
 Mlp LoadMlp(std::istream* in) {
   std::string word;
-  *in >> word;
-  GCON_CHECK_EQ(word, std::string("mlp")) << "bad mlp magic";
+  if (!(*in >> word)) Malformed("truncated before the mlp header");
+  if (word != "mlp") Malformed("bad magic '" + word + "' (want 'mlp')");
   std::size_t dim_count = 0;
-  *in >> dim_count;
-  GCON_CHECK_GE(dim_count, 2u);
+  if (!(*in >> dim_count) || dim_count < 2) {
+    Malformed("architecture needs at least input and output dims");
+  }
   MlpOptions options;
   options.dims.resize(dim_count);
   for (auto& dim : options.dims) {
-    *in >> dim;
-    GCON_CHECK_GT(dim, 0);
+    if (!(*in >> dim) || dim <= 0) {
+      Malformed("non-positive or missing layer dimension");
+    }
   }
   std::string activation;
-  *in >> activation;
+  if (!(*in >> activation)) Malformed("truncated before the activation name");
+  if (activation != "identity" && activation != "relu" &&
+      activation != "tanh" && activation != "sigmoid") {
+    // ActivationByName treats an unknown name as a programming error and
+    // aborts; from persisted input it is corruption, so throw instead.
+    Malformed("unknown activation '" + activation + "'");
+  }
   options.hidden_activation = ActivationByName(activation);
   Mlp mlp(options);
   for (int l = 0; l < mlp.num_layers(); ++l) {

@@ -18,7 +18,9 @@ namespace gcon {
 /// Writes the architecture and weights of `mlp` to `out`.
 void SaveMlp(const Mlp& mlp, std::ostream* out);
 
-/// Reads an MLP previously written by SaveMlp. Aborts on malformed input.
+/// Reads an MLP previously written by SaveMlp. Throws std::runtime_error
+/// describing the defect (bad magic, shape mismatch, truncation) on
+/// malformed input; embedding callers (core/model_io) add the file path.
 Mlp LoadMlp(std::istream* in);
 
 }  // namespace gcon

@@ -1,0 +1,165 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace gcon {
+namespace {
+
+// A lull this long with no new arrival while a batch is filling means the
+// burst is over: ship what we have instead of idling out the full deadline.
+// Short on purpose — every microsecond spent hoping for stragglers is a
+// microsecond every already-queued client waits.
+constexpr std::chrono::microseconds kArrivalLull(5);
+
+[[noreturn]] void BadOption(const char* name, int value) {
+  throw std::invalid_argument("serve option '" + std::string(name) +
+                              "' must be >= 1 (got " + std::to_string(value) +
+                              ")");
+}
+
+}  // namespace
+
+void ServeOptions::Validate() const {
+  if (threads < 1) BadOption("threads", threads);
+  if (max_batch < 1) BadOption("max_batch", max_batch);
+  if (max_wait_us < 1) BadOption("max_wait_us", max_wait_us);
+}
+
+MicroBatcher::MicroBatcher(ServeOptions options, BatchHandler handler)
+    : options_(options), handler_(std::move(handler)) {
+  options_.Validate();
+  workers_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int t = 0; t < options_.threads; ++t) {
+    workers_.emplace_back(&MicroBatcher::WorkerMain, this);
+  }
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+void MicroBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    arrival_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::future<ServeResponse> MicroBatcher::Submit(ServeRequest request) {
+  auto pending = std::make_unique<PendingQuery>();
+  pending->request = std::move(request);
+  pending->enqueued = std::chrono::steady_clock::now();
+  std::future<ServeResponse> future = pending->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::runtime_error("MicroBatcher: Submit after Stop");
+    }
+    queue_.push_back(std::move(pending));
+  }
+  arrival_cv_.notify_one();
+  return future;
+}
+
+std::vector<std::unique_ptr<PendingQuery>> MicroBatcher::TakeBatchLocked(
+    std::unique_lock<std::mutex>* lock) {
+  const std::size_t max_batch = static_cast<std::size_t>(options_.max_batch);
+  for (;;) {
+    arrival_cv_.wait(*lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // stopping and drained
+
+    // An existing backlog already amortizes the batch overhead: ship it
+    // now — delaying it only idles every queued client (a straggler wait
+    // here measured as a 3x throughput LOSS under closed-loop load). Only
+    // a lone query is worth holding back, briefly, for company.
+    if (queue_.size() == 1 && max_batch > 1 && !stopping_) {
+      const auto deadline =
+          queue_.front()->enqueued +
+          std::chrono::microseconds(options_.max_wait_us);
+      while (queue_.size() < max_batch && !stopping_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        const auto step = std::min<std::chrono::steady_clock::duration>(
+            deadline - now, kArrivalLull);
+        const std::size_t before = queue_.size();
+        arrival_cv_.wait_for(*lock, step);
+        if (queue_.size() <= before) break;  // lull — ship what we have
+      }
+    }
+    if (queue_.empty()) continue;  // a peer worker took the backlog
+
+    std::vector<std::unique_ptr<PendingQuery>> batch;
+    const std::size_t take = std::min(queue_.size(), max_batch);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (!queue_.empty()) {
+      // Leftovers belong to another worker; wake one.
+      arrival_cv_.notify_one();
+    }
+    return batch;
+  }
+}
+
+void MicroBatcher::WorkerMain() {
+  for (;;) {
+    std::vector<std::unique_ptr<PendingQuery>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch = TakeBatchLocked(&lock);
+      if (batch.empty()) return;
+      ++batches_run_;
+      queries_served_ += batch.size();
+    }
+
+    std::vector<PendingQuery*> views;
+    views.reserve(batch.size());
+    for (auto& p : batch) views.push_back(p.get());
+    try {
+      handler_(views);
+      const auto done = std::chrono::steady_clock::now();
+      for (auto& p : batch) {
+        p->response.id = p->request.id;
+        p->response.node = p->request.node;
+        p->response.latency_us =
+            std::chrono::duration<double, std::micro>(done - p->enqueued)
+                .count();
+        latency_.Record(p->response.latency_us);
+        p->promise.set_value(std::move(p->response));
+      }
+    } catch (...) {
+      // Validation happens at Submit, so this is a handler bug or OOM:
+      // surface it on every affected query instead of hanging the futures.
+      const std::exception_ptr error = std::current_exception();
+      for (auto& p : batch) {
+        p->promise.set_exception(error);
+      }
+    }
+  }
+}
+
+void MicroBatcher::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_served_ = 0;
+  batches_run_ = 0;
+  latency_.Reset();
+}
+
+std::uint64_t MicroBatcher::queries_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_served_;
+}
+
+std::uint64_t MicroBatcher::batches_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_run_;
+}
+
+}  // namespace gcon

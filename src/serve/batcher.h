@@ -1,0 +1,117 @@
+// Micro-batching request queue for the inference server.
+//
+// Clients submit single-node queries; persistent batch workers coalesce
+// them into blocks of up to `max_batch` and hand each block to one handler
+// call (one gather + one GEMM in the server). Coalescing policy:
+//
+//   * a worker that finds requests queued takes up to max_batch of them;
+//   * a lone pending query is held back briefly for company — never beyond
+//     `max_wait_us` past its arrival, and given up as soon as an arrival
+//     lull (a few microseconds, kArrivalLull in batcher.cc) suggests no one
+//     else is coming. An existing backlog ships immediately: under load the
+//     queue refills while the previous batch computes, so batches form
+//     naturally and the deadline is a latency bound, not a throughput tax.
+//
+// Because the session's per-row results are independent of batch
+// composition (see inference_session.h), the nondeterministic coalescing
+// schedule is invisible in the responses — batching changes throughput and
+// latency, never bits.
+//
+// Workers are resident threads (spawned in Start, parked on the queue's
+// condition variable, joined in Stop) — the serving tier never pays a
+// thread spawn per request or per batch.
+#ifndef GCON_SERVE_BATCHER_H_
+#define GCON_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/inference_session.h"
+#include "serve/latency_stats.h"
+
+namespace gcon {
+
+/// Serving knobs, shared by the in-process API, the CLI, and the bench.
+struct ServeOptions {
+  int threads = 1;       ///< batch worker threads
+  int max_batch = 32;    ///< queries coalesced into one handler call
+  int max_wait_us = 200; ///< coalescing deadline past the oldest arrival
+
+  /// Throws std::invalid_argument naming the offending knob when any value
+  /// is zero or negative (mirrors the CLI's strict flag validation).
+  void Validate() const;
+};
+
+/// A submitted query awaiting its batch.
+struct PendingQuery {
+  ServeRequest request;
+  ServeResponse response;
+  std::chrono::steady_clock::time_point enqueued;
+  std::promise<ServeResponse> promise;
+};
+
+class MicroBatcher {
+ public:
+  /// Fills response (label/logits) for every pending query in the batch;
+  /// runs on a batch worker thread. Must not throw for valid requests —
+  /// requests are validated at Submit time — but if it does, every query in
+  /// the batch receives the exception.
+  using BatchHandler = std::function<void(std::vector<PendingQuery*>&)>;
+
+  /// Validates `options` and starts options.threads resident workers.
+  MicroBatcher(ServeOptions options, BatchHandler handler);
+  ~MicroBatcher();
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one query; the future resolves when its batch completes.
+  std::future<ServeResponse> Submit(ServeRequest request);
+
+  /// Drains the queue and joins the workers. Submissions after Stop fail
+  /// with std::runtime_error. Idempotent.
+  void Stop();
+
+  /// Enqueue-to-completion latency of every completed query.
+  const LatencyStats& latency() const { return latency_; }
+
+  /// Zeroes the query/batch counters and the latency histogram. Call
+  /// quiesced (no in-flight queries) — benches use it to drop warm-up
+  /// traffic from the reported numbers.
+  void ResetCounters();
+
+  std::uint64_t queries_served() const;
+  std::uint64_t batches_run() const;
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  void WorkerMain();
+  /// Pops the next batch (caller holds lock on entry/exit); empty result
+  /// means "stopping and drained".
+  std::vector<std::unique_ptr<PendingQuery>> TakeBatchLocked(
+      std::unique_lock<std::mutex>* lock);
+
+  ServeOptions options_;
+  BatchHandler handler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable arrival_cv_;
+  std::deque<std::unique_ptr<PendingQuery>> queue_;
+  bool stopping_ = false;
+  std::uint64_t queries_served_ = 0;
+  std::uint64_t batches_run_ = 0;
+
+  LatencyStats latency_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_SERVE_BATCHER_H_

@@ -1,0 +1,202 @@
+#include "serve/inference_session.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "linalg/ops.h"
+
+namespace gcon {
+
+namespace {
+
+// A parseable artifact can still be internally inconsistent, or mismatch
+// the serving graph. Both are environmental (a bad published file, the
+// wrong --graph), so they throw like LoadModel's own defects do — never
+// GCON_CHECK, which would abort past the CLI's error reporting.
+[[noreturn]] void BadSession(const std::string& what) {
+  throw std::runtime_error("cannot serve this artifact: " + what);
+}
+
+}  // namespace
+
+InferenceSession::InferenceSession(GconArtifact artifact, Graph graph)
+    : per_query_(true),
+      graph_(std::move(graph)),
+      artifact_(std::move(artifact)) {
+  if (artifact_->steps.empty()) {
+    BadSession("it declares no propagation steps");
+  }
+  if (graph_.num_nodes() <= 0) {
+    BadSession("the serving graph is empty");
+  }
+  const int encoder_in = artifact_->encoder.options().dims.front();
+  if (graph_.feature_dim() != encoder_in) {
+    BadSession("the serving graph has " +
+               std::to_string(graph_.feature_dim()) +
+               "-dim features but the encoder expects " +
+               std::to_string(encoder_in));
+  }
+  // The whole-graph work, done once: exactly the calls Infer makes, so each
+  // encoded row is bitwise identical to the offline pipeline's.
+  encoded_ = artifact_->encoder.HiddenRepresentation(
+      graph_.features(), artifact_->encoder.num_layers() - 1);
+  RowL2NormalizeInPlace(&encoded_);
+  alpha_inf_ = artifact_->alpha_inference >= 0.0 ? artifact_->alpha_inference
+                                                : artifact_->alpha;
+  if (artifact_->theta.rows() != artifact_->steps.size() * encoded_.cols()) {
+    BadSession("theta has " + std::to_string(artifact_->theta.rows()) +
+               " rows, want steps x encoder width = " +
+               std::to_string(artifact_->steps.size() * encoded_.cols()));
+  }
+  num_classes_ = artifact_->theta.cols();
+}
+
+InferenceSession::InferenceSession(const GraphModel& model, Graph graph)
+    : per_query_(false), graph_(std::move(graph)) {
+  if (graph_.num_nodes() <= 0) {
+    throw std::runtime_error("cannot serve an empty graph");
+  }
+  dense_logits_ = model.Predict(graph_);
+  GCON_CHECK_EQ(dense_logits_.rows(),
+                static_cast<std::size_t>(graph_.num_nodes()));
+  num_classes_ = dense_logits_.cols();
+}
+
+InferenceSession InferenceSession::FromFile(const std::string& model_path,
+                                            Graph graph) {
+  GconArtifact artifact = LoadModel(model_path);  // throws with the path
+  try {
+    return InferenceSession(std::move(artifact), std::move(graph));
+  } catch (const std::runtime_error& e) {
+    // Consistency failures know the defect; attach where it came from.
+    throw std::runtime_error("model artifact '" + model_path +
+                             "': " + e.what());
+  }
+}
+
+void InferenceSession::ValidateRequest(const ServeRequest& request) const {
+  if (request.node < 0 || request.node >= graph_.num_nodes()) {
+    throw std::invalid_argument(
+        "node " + std::to_string(request.node) + " out of range [0, " +
+        std::to_string(graph_.num_nodes()) + ")");
+  }
+  if (request.has_edges && !per_query_) {
+    throw std::invalid_argument(
+        "per-query edge lists need a gcon artifact session; this session "
+        "serves precomputed logits");
+  }
+}
+
+void InferenceSession::HopRow(int node, const std::vector<int>& neighbors,
+                              double* out) const {
+  const std::size_t d = encoded_.cols();
+  // Transition row values exactly as BuildTransition writes them: every
+  // off-diagonal entry min(1/(k+1), 1/2), and the diagonal accumulated by
+  // the same repeated subtraction (floating point is not associative; the
+  // replay must subtract k times, not compute 1 - k*off).
+  const double k = static_cast<double>(neighbors.size());
+  const double off = std::min(1.0 / (k + 1.0), 0.5);
+  double diag = 1.0;
+  for (std::size_t i = 0; i < neighbors.size(); ++i) diag -= off;
+
+  // Accumulate in CSR order — columns ascending with the diagonal merged at
+  // its sorted position — mirroring SpmmAxpby's per-row loop.
+  std::vector<double> sum(d, 0.0);
+  auto accumulate = [&](int col, double value) {
+    const double* zrow = encoded_.RowPtr(static_cast<std::size_t>(col));
+    for (std::size_t j = 0; j < d; ++j) sum[j] += value * zrow[j];
+  };
+  bool diag_done = false;
+  for (int neighbor : neighbors) {
+    if (!diag_done && node < neighbor) {
+      accumulate(node, diag);
+      diag_done = true;
+    }
+    accumulate(neighbor, off);
+  }
+  if (!diag_done) accumulate(node, diag);
+
+  // out = (1 - alpha_I) * (Ã_v · X̄) + alpha_I * X̄_v, the SpmmAxpby tail.
+  const double a = 1.0 - alpha_inf_;
+  const double b = alpha_inf_;
+  const double* xrow = encoded_.RowPtr(static_cast<std::size_t>(node));
+  for (std::size_t j = 0; j < d; ++j) {
+    out[j] = a * sum[j] + b * xrow[j];
+  }
+}
+
+void InferenceSession::FillFeatureRow(const ServeRequest& request,
+                                      double* row) const {
+  const std::size_t d = encoded_.cols();
+  const int v = request.node;
+  const double* encoded_row = encoded_.RowPtr(static_cast<std::size_t>(v));
+
+  std::vector<double> hop;
+  bool have_hop = false;
+  std::vector<int> sanitized;
+  const std::vector<int>* neighbors = &graph_.Neighbors(v);
+  if (request.has_edges) {
+    sanitized = request.edges;
+    std::sort(sanitized.begin(), sanitized.end());
+    sanitized.erase(std::unique(sanitized.begin(), sanitized.end()),
+                    sanitized.end());
+    sanitized.erase(
+        std::remove_if(sanitized.begin(), sanitized.end(),
+                       [&](int u) {
+                         return u < 0 || u >= graph_.num_nodes() || u == v;
+                       }),
+        sanitized.end());
+    neighbors = &sanitized;
+  }
+
+  // The offline loop computes the one-hop block once and reuses it for
+  // every step m > 0 (Eq. (16) reads only the query node's own edges no
+  // matter how deep training propagated); replay that here.
+  for (std::size_t s = 0; s < artifact_->steps.size(); ++s) {
+    double* block = row + s * d;
+    if (artifact_->steps[s] == 0) {
+      std::copy(encoded_row, encoded_row + d, block);
+      continue;
+    }
+    if (!have_hop) {
+      hop.resize(d);
+      HopRow(v, *neighbors, hop.data());
+      have_hop = true;
+    }
+    std::copy(hop.begin(), hop.end(), block);
+  }
+}
+
+Matrix InferenceSession::QueryBatch(
+    const std::vector<const ServeRequest*>& batch) const {
+  const std::size_t b = batch.size();
+  if (!per_query_) {
+    Matrix out(b, num_classes_);
+    for (std::size_t i = 0; i < b; ++i) {
+      const double* src = dense_logits_.RowPtr(
+          static_cast<std::size_t>(batch[i]->node));
+      std::copy(src, src + num_classes_, out.RowPtr(i));
+    }
+    return out;
+  }
+  // One coalesced feature block, one GEMM — the micro-batcher's payoff. A
+  // GEMM row's bit pattern does not depend on the other rows (zero-padded
+  // fringe tiles, fixed k-order), so this equals b independent queries.
+  Matrix z(b, artifact_->steps.size() * encoded_.cols());
+  for (std::size_t i = 0; i < b; ++i) {
+    FillFeatureRow(*batch[i], z.RowPtr(i));
+  }
+  return MatMul(z, artifact_->theta);
+}
+
+std::vector<double> InferenceSession::QueryLogits(
+    const ServeRequest& request) const {
+  ValidateRequest(request);
+  const std::vector<const ServeRequest*> batch = {&request};
+  const Matrix logits = QueryBatch(batch);
+  return logits.RowCopy(0);
+}
+
+}  // namespace gcon

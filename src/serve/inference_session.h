@@ -1,0 +1,132 @@
+// Per-query inference over a published GCON artifact (or any trained
+// registry GraphModel) — the read side of the paper's deployment story.
+//
+// The offline path (`GconArtifact::Infer`, `gcon_cli predict`) re-runs the
+// whole-graph pipeline for every call: encode all n nodes, one fused SpMM
+// over the full transition matrix, one n-row GEMM. A serving tier answers
+// "logits for node v" thousands of times a second, so this session does the
+// whole-graph work exactly once at load time (the encoder forward + row
+// normalization — edge-free, hence artifact-safe) and then answers each
+// query from v's neighborhood alone, per Eq. (16): the one-hop row
+//   hop_v = (1-α_I) · Ã_v · X̄ + α_I · X̄_v
+// touches deg(v)+1 rows of the encoded matrix, and the logits are a single
+// (s·d1)-by-c row product. GAP and DPAR make the same observation: with
+// propagation decoupled from training, per-node inference is cheap.
+//
+// Bitwise contract: every query path below reproduces the offline result
+// exactly — QueryBatch row i equals row node_i of GconArtifact::Infer — by
+// replicating the offline kernels' accumulation order:
+//   * the encoded matrix is the same full-graph call, made once;
+//   * the per-node hop replays CsrMatrix::SpmmAxpby's per-row arithmetic
+//     (column-ascending accumulate, then a·sum + b·x) on a transition row
+//     rebuilt with BuildTransition's exact per-entry values;
+//   * the final GEMM's per-row results are invariant to the batch's row
+//     count (fringe tiles are zero-padded into the same micro-kernel), so
+//     one coalesced product over B rows matches the n-row offline product.
+// tests/serve_test.cc enforces this with memcmp, not AllClose.
+//
+// Privacy: everything served is post-processing of the released (ε, δ)-DP
+// artifact plus the *query's own* edges — the same data the querying node
+// already holds — so serving consumes no additional privacy budget.
+#ifndef GCON_SERVE_INFERENCE_SESSION_H_
+#define GCON_SERVE_INFERENCE_SESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model_io.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "model/model.h"
+
+namespace gcon {
+
+/// One node-prediction query.
+struct ServeRequest {
+  std::int64_t id = 0;  ///< echoed back; correlates pipelined wire requests
+  int node = -1;        ///< node index in the serving graph, [0, n)
+  /// When true, `edges` replaces the serving graph's adjacency for this
+  /// query (the private-edge scenario: the querying node reveals its own
+  /// edge list and nothing else). Self-loops, duplicates, and out-of-range
+  /// endpoints are ignored.
+  bool has_edges = false;
+  std::vector<int> edges;
+};
+
+/// Answer to one query.
+struct ServeResponse {
+  std::int64_t id = 0;
+  int node = -1;
+  int label = -1;               ///< argmax of logits (ties -> smallest)
+  std::vector<double> logits;   ///< one value per class
+  double latency_us = 0.0;      ///< enqueue-to-completion (set by the server)
+};
+
+/// Immutable, thread-safe query engine over one loaded model. All methods
+/// are const and safe to call concurrently.
+class InferenceSession {
+ public:
+  /// Artifact mode: per-query Eq. (16) inference. `graph` supplies the
+  /// serving population (features always; edges as the default adjacency
+  /// for queries without a private edge list). The encoder forward over all
+  /// nodes runs here, once.
+  InferenceSession(GconArtifact artifact, Graph graph);
+
+  /// Generic mode: serves any trained registry model by computing
+  /// model.Predict(graph) once and answering queries from the stored rows.
+  /// Per-query private edge lists are not supported (the model already
+  /// consumed the adjacency at whatever granularity it supports).
+  InferenceSession(const GraphModel& model, Graph graph);
+
+  /// Artifact mode from a "gcon-model v1" file (core/model_io.h LoadModel;
+  /// throws std::runtime_error naming the path on a bad artifact).
+  static InferenceSession FromFile(const std::string& model_path, Graph graph);
+
+  int num_nodes() const { return graph_.num_nodes(); }
+  int num_classes() const { return static_cast<int>(num_classes_); }
+  /// True in artifact mode (per-query propagation; private edges allowed).
+  bool per_query() const { return per_query_; }
+
+  /// Throws std::invalid_argument when `request` cannot be served (node out
+  /// of range; private edges in generic mode).
+  void ValidateRequest(const ServeRequest& request) const;
+
+  /// Logits for one query; bitwise identical to the offline whole-graph
+  /// inference row of request.node (when no private edge list overrides the
+  /// graph adjacency).
+  std::vector<double> QueryLogits(const ServeRequest& request) const;
+
+  /// Coalesced batch: gathers every query's propagated feature row into one
+  /// block and runs a single B-row GEMM against Θ. Row i answers batch[i].
+  /// This is the micro-batcher's kernel; row results are independent of the
+  /// batch composition (see header comment), which is what makes batching
+  /// transparent to clients.
+  Matrix QueryBatch(const std::vector<const ServeRequest*>& batch) const;
+
+ private:
+  /// Fills `row` (length steps*d1 in artifact mode) with the propagated
+  /// feature blocks for one query.
+  void FillFeatureRow(const ServeRequest& request, double* row) const;
+
+  /// The Eq. (16) one-hop row for `node` with the given neighbor list
+  /// (column-ascending, diagonal value replayed from BuildTransition).
+  void HopRow(int node, const std::vector<int>& neighbors, double* out) const;
+
+  bool per_query_ = false;
+  Graph graph_;
+  std::size_t num_classes_ = 0;
+
+  // Artifact mode (empty in generic mode — Mlp has no default state).
+  std::optional<GconArtifact> artifact_;
+  Matrix encoded_;        ///< X̄ after row normalization (n x d1)
+  double alpha_inf_ = 0;  ///< resolved inference restart probability
+
+  // Generic mode.
+  Matrix dense_logits_;  ///< model.Predict(graph), n x c
+};
+
+}  // namespace gcon
+
+#endif  // GCON_SERVE_INFERENCE_SESSION_H_

@@ -1,0 +1,73 @@
+// Lock-free latency histogram for the serving tier.
+//
+// Record() is called on the hot path by every batch worker, so the store is
+// an array of atomic counters — no mutex, no allocation. Buckets are
+// geometric in microseconds: one octave per power of two, refined into 8
+// linear sub-buckets (the three bits below the leading one), which bounds
+// the relative quantile error at ~12.5%. Percentiles are read by walking
+// the cumulative counts and reporting the bucket's upper bound, so reported
+// p50/p95/p99 never understate the true quantile.
+//
+// Snapshot() is safe to call concurrently with Record(); it reads each
+// counter once (relaxed), so a snapshot taken mid-burst is a consistent
+// *approximation*, which is all a monitoring read needs.
+#ifndef GCON_SERVE_LATENCY_STATS_H_
+#define GCON_SERVE_LATENCY_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gcon {
+
+class LatencyStats {
+ public:
+  /// Octaves 2^0..2^31 us (~36 minutes) x 8 sub-buckets.
+  static constexpr int kOctaves = 32;
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kBuckets = kOctaves * kSubBuckets;
+
+  LatencyStats();
+
+  /// Records one measurement, in microseconds (values < 1 land in the first
+  /// bucket; values beyond the last octave saturate into the last bucket).
+  void Record(double us);
+
+  /// Bucket index a value lands in (exposed for tests).
+  static int BucketIndex(std::uint64_t us);
+  /// Inclusive upper bound, in us, of the values mapping to `bucket`.
+  static std::uint64_t BucketUpperBound(int bucket);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+
+    /// "count=N mean=Xus p50=... p95=... p99=... max=..." for logs.
+    std::string ToString() const;
+  };
+
+  /// Consistent-enough view of the histogram (see header comment).
+  Snapshot Summarize() const;
+
+  /// Zeroes every counter (not atomic across buckets; callers quiesce
+  /// recording first — used by benches between phases).
+  void Reset();
+
+ private:
+  double PercentileLocked(const std::array<std::uint64_t, kBuckets>& counts,
+                          std::uint64_t total, double q) const;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_;
+  std::atomic<std::uint64_t> count_;
+  std::atomic<std::uint64_t> sum_us_;  ///< integral us; mean error < 1us
+  std::atomic<std::uint64_t> max_us_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_SERVE_LATENCY_STATS_H_

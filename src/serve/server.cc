@@ -1,0 +1,241 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "linalg/ops.h"
+#include "serve/wire.h"
+
+namespace gcon {
+
+InferenceServer::InferenceServer(InferenceSession session,
+                                 ServeOptions options)
+    : session_(std::move(session)) {
+  // The handler runs on a batch worker: one gather + one GEMM per batch,
+  // then per-query argmax. `this->session_` is immutable after
+  // construction, so concurrent batches need no locking.
+  batcher_ = std::make_unique<MicroBatcher>(
+      options, [this](std::vector<PendingQuery*>& batch) {
+        std::vector<const ServeRequest*> requests;
+        requests.reserve(batch.size());
+        for (PendingQuery* p : batch) requests.push_back(&p->request);
+        const Matrix logits = session_.QueryBatch(requests);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          batch[i]->response.logits = logits.RowCopy(i);
+          batch[i]->response.label =
+              static_cast<int>(RowArgMax(logits, i));
+        }
+      });
+}
+
+InferenceServer::~InferenceServer() { Stop(); }
+
+void InferenceServer::Stop() { batcher_->Stop(); }
+
+std::future<ServeResponse> InferenceServer::QueryAsync(ServeRequest request) {
+  session_.ValidateRequest(request);
+  return batcher_->Submit(std::move(request));
+}
+
+ServeResponse InferenceServer::Query(ServeRequest request) {
+  return QueryAsync(std::move(request)).get();
+}
+
+LatencyStats::Snapshot InferenceServer::latency() const {
+  return batcher_->latency().Summarize();
+}
+
+std::uint64_t InferenceServer::queries_served() const {
+  return batcher_->queries_served();
+}
+
+std::uint64_t InferenceServer::batches_run() const {
+  return batcher_->batches_run();
+}
+
+void InferenceServer::ResetStats() { batcher_->ResetCounters(); }
+
+std::string InferenceServer::StatsJson() const {
+  const std::uint64_t queries = queries_served();
+  const std::uint64_t batches = batches_run();
+  const LatencyStats::Snapshot lat = latency();
+  std::ostringstream out;
+  out.precision(6);
+  out << "{\"queries\": " << queries << ", \"batches\": " << batches
+      << ", \"mean_batch\": "
+      << (batches == 0 ? 0.0
+                       : static_cast<double>(queries) /
+                             static_cast<double>(batches))
+      << ", \"mean_us\": " << lat.mean_us << ", \"p50_us\": " << lat.p50_us
+      << ", \"p95_us\": " << lat.p95_us << ", \"p99_us\": " << lat.p99_us
+      << ", \"max_us\": " << lat.max_us << "}";
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void SocketError(const std::string& what) {
+  throw std::runtime_error("serve: " + what + " (" +
+                           std::strerror(errno) + ")");
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal — a retry, not an error
+    if (n <= 0) return;  // client went away; the connection loop will see EOF
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Serves one connection line-by-line. Query lines are pipelined through
+/// QueryAsync (so a burst from one client coalesces into one batch);
+/// responses flush in request order at chunk boundaries and before any
+/// stats/quit/error line, preserving the ordered-wire contract.
+void ServeConnection(InferenceServer* server, int fd) {
+  std::string buffer;
+  struct InFlight {
+    std::int64_t id;
+    std::future<ServeResponse> future;
+  };
+  std::deque<InFlight> pending;
+  char chunk[4096];
+
+  auto flush_pending = [&] {
+    while (!pending.empty()) {
+      try {
+        const ServeResponse response = pending.front().future.get();
+        SendAll(fd, FormatWireResponse(response) + "\n");
+      } catch (const std::exception& e) {
+        // Batch-handler failure: the error line must still carry the id
+        // the client used, or a pipelined client cannot attribute it.
+        SendAll(fd, FormatWireError(pending.front().id, e.what()) + "\n");
+      }
+      pending.pop_front();
+    }
+  };
+
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (std::size_t eol = buffer.find('\n', start);
+         eol != std::string::npos; eol = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, eol - start);
+      start = eol + 1;
+      if (line.empty() ||
+          line.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;
+      }
+      WireCommand command;
+      ServeRequest request;
+      std::string error;
+      if (!ParseWireRequest(line, &command, &request, &error)) {
+        flush_pending();
+        SendAll(fd, FormatWireError(request.id, error) + "\n");
+        continue;
+      }
+      if (command == WireCommand::kStats) {
+        flush_pending();
+        SendAll(fd, server->StatsJson() + "\n");
+        continue;
+      }
+      if (command == WireCommand::kQuit) {
+        flush_pending();
+        ::close(fd);
+        return;
+      }
+      try {
+        const std::int64_t id = request.id;
+        pending.push_back({id, server->QueryAsync(std::move(request))});
+      } catch (const std::exception& e) {
+        flush_pending();
+        SendAll(fd, FormatWireError(request.id, e.what()) + "\n");
+      }
+    }
+    buffer.erase(0, start);
+    flush_pending();
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int RunTcpServer(InferenceServer* server, int port,
+                 const std::atomic<bool>* shutdown) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) SocketError("cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd);
+    SocketError("cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(listen_fd, 128) != 0) {
+    ::close(listen_fd);
+    SocketError("cannot listen");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const int bound_port = ntohs(addr.sin_port);
+
+  std::cout << "serving on 127.0.0.1:" << bound_port << " ("
+            << server->session().num_nodes() << " nodes, "
+            << server->session().num_classes() << " classes, threads="
+            << server->options().threads << " max_batch="
+            << server->options().max_batch << " max_wait_us="
+            << server->options().max_wait_us << ")" << std::endl;
+
+  // Connection threads are detached and counted: a long-running server
+  // must reclaim each thread's stack when its client disconnects, not
+  // accumulate joinable handles until shutdown.
+  auto active = std::make_shared<std::atomic<int>>(0);
+  for (;;) {
+    if (shutdown != nullptr && shutdown->load(std::memory_order_acquire)) {
+      break;
+    }
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;  // timeout (recheck shutdown) or EINTR
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    active->fetch_add(1, std::memory_order_acq_rel);
+    std::thread([server, fd, active] {
+      ServeConnection(server, fd);
+      active->fetch_sub(1, std::memory_order_acq_rel);
+    }).detach();
+  }
+  ::close(listen_fd);
+  // Clean shutdown: the detached handlers borrow `server`; wait for every
+  // open connection to finish before handing control back.
+  while (active->load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return 0;
+}
+
+}  // namespace gcon

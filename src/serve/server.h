@@ -1,0 +1,88 @@
+// The inference server: an InferenceSession behind a MicroBatcher, plus
+// the TCP front end `gcon_cli serve` speaks.
+//
+// In-process use (tests, benches, embedding applications):
+//
+//   InferenceServer server(std::move(session), {.threads=2, .max_batch=32});
+//   ServeResponse r = server.Query({.id=1, .node=v});   // blocking
+//   // or pipeline: auto f = server.QueryAsync(req); ... f.get();
+//
+// Every query is validated on the submitting thread (bad node -> throw at
+// the call site, not a poisoned batch), then coalesced by the batcher; the
+// batch handler gathers the propagated feature rows and runs one GEMM.
+// Responses are bitwise identical to one-at-a-time offline inference, so
+// clients cannot observe how their queries were batched.
+//
+// The TCP front end is deliberately thin: newline-delimited wire requests
+// (serve/wire.h) on a loopback-bound listener, one thread per connection,
+// each line answered in order via QueryAsync so pipelined client batches
+// coalesce in the batcher. It exists to demonstrate and smoke-test the
+// deployment story end to end, not to be a production RPC stack.
+#ifndef GCON_SERVE_SERVER_H_
+#define GCON_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "serve/batcher.h"
+#include "serve/inference_session.h"
+#include "serve/latency_stats.h"
+
+namespace gcon {
+
+class InferenceServer {
+ public:
+  /// Starts options.threads batch workers over `session`.
+  InferenceServer(InferenceSession session, ServeOptions options);
+  ~InferenceServer();
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Validates and enqueues; the future resolves when the batch holding
+  /// this query completes. Throws std::invalid_argument on a request the
+  /// session cannot serve.
+  std::future<ServeResponse> QueryAsync(ServeRequest request);
+
+  /// Blocking convenience around QueryAsync.
+  ServeResponse Query(ServeRequest request);
+
+  const InferenceSession& session() const { return session_; }
+  const ServeOptions& options() const { return batcher_->options(); }
+
+  /// Enqueue-to-completion latency across all completed queries.
+  LatencyStats::Snapshot latency() const;
+  std::uint64_t queries_served() const;
+  std::uint64_t batches_run() const;
+
+  /// Drops the counters and histogram (call quiesced; see
+  /// MicroBatcher::ResetCounters). Benches separate warm-up from the
+  /// measured run with this.
+  void ResetStats();
+
+  /// {"queries": ..., "batches": ..., "mean_batch": ..., percentiles...} —
+  /// the stats line the wire protocol returns for {"cmd": "stats"}.
+  std::string StatsJson() const;
+
+  /// Joins the batch workers; pending queries complete first.
+  void Stop();
+
+ private:
+  InferenceSession session_;
+  std::unique_ptr<MicroBatcher> batcher_;
+};
+
+/// Runs the TCP front end on 127.0.0.1:`port` (port 0 picks an ephemeral
+/// port). Prints one "serving on 127.0.0.1:<port> ..." line to stdout once
+/// the socket is listening, then accepts until `shutdown` (when given)
+/// becomes true or the process dies; each connection is served line-by-line
+/// per serve/wire.h. Returns 0 on clean shutdown; throws std::runtime_error
+/// on socket setup failure (port in use, ...).
+int RunTcpServer(InferenceServer* server, int port,
+                 const std::atomic<bool>* shutdown = nullptr);
+
+}  // namespace gcon
+
+#endif  // GCON_SERVE_SERVER_H_

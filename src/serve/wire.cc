@@ -1,0 +1,220 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+namespace gcon {
+namespace {
+
+/// Minimal recursive-descent scanner over one wire line.
+class LineScanner {
+ public:
+  explicit LineScanner(const std::string& line) : line_(line) {}
+
+  void SkipWs() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < line_.size() && line_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < line_.size() && line_[pos_] == c;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= line_.size();
+  }
+
+  bool ReadString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < line_.size() && line_[pos_] != '"') {
+      out->push_back(line_[pos_++]);
+    }
+    return Consume('"');
+  }
+
+  bool ReadInt(std::int64_t* out) {
+    SkipWs();
+    const std::size_t start = pos_;
+    if (pos_ < line_.size() && (line_[pos_] == '-' || line_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < line_.size() &&
+           std::isdigit(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start ||
+        (pos_ == start + 1 && !std::isdigit(
+                                  static_cast<unsigned char>(line_[start])))) {
+      return false;
+    }
+    try {
+      *out = std::stoll(line_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const std::string& line_;
+  std::size_t pos_ = 0;
+};
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n' || c == '\r' || c == '\t') {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ParseWireRequest(const std::string& line, WireCommand* command,
+                      ServeRequest* request, std::string* error) {
+  *command = WireCommand::kQuery;
+  *request = ServeRequest{};
+  LineScanner scan(line);
+  if (!scan.Consume('{')) {
+    *error = "request must be a {...} object";
+    return false;
+  }
+  bool have_node = false;
+  std::string cmd;
+  if (!scan.Peek('}')) {
+    do {
+      std::string key;
+      if (!scan.ReadString(&key)) {
+        *error = "expected a quoted key";
+        return false;
+      }
+      if (!scan.Consume(':')) {
+        *error = "expected ':' after key '" + key + "'";
+        return false;
+      }
+      if (key == "id") {
+        if (!scan.ReadInt(&request->id)) {
+          *error = "key 'id' wants an integer";
+          return false;
+        }
+      } else if (key == "node") {
+        std::int64_t node = 0;
+        if (!scan.ReadInt(&node)) {
+          *error = "key 'node' wants an integer";
+          return false;
+        }
+        // Reject instead of narrowing: a wrapped id could land inside
+        // [0, n) and silently serve the wrong node.
+        if (node < std::numeric_limits<int>::min() ||
+            node > std::numeric_limits<int>::max()) {
+          *error = "key 'node' out of range";
+          return false;
+        }
+        request->node = static_cast<int>(node);
+        have_node = true;
+      } else if (key == "edges") {
+        if (!scan.Consume('[')) {
+          *error = "key 'edges' wants an array of integers";
+          return false;
+        }
+        request->has_edges = true;
+        request->edges.clear();
+        if (!scan.Peek(']')) {
+          do {
+            std::int64_t endpoint = 0;
+            if (!scan.ReadInt(&endpoint)) {
+              *error = "key 'edges' wants integers";
+              return false;
+            }
+            if (endpoint < std::numeric_limits<int>::min() ||
+                endpoint > std::numeric_limits<int>::max()) {
+              *error = "key 'edges' entry out of range";
+              return false;
+            }
+            request->edges.push_back(static_cast<int>(endpoint));
+          } while (scan.Consume(','));
+        }
+        if (!scan.Consume(']')) {
+          *error = "unterminated 'edges' array";
+          return false;
+        }
+      } else if (key == "cmd") {
+        if (!scan.ReadString(&cmd)) {
+          *error = "key 'cmd' wants a quoted string";
+          return false;
+        }
+      } else {
+        *error = "unknown key '" + key +
+                 "' (want id, node, edges, or cmd)";
+        return false;
+      }
+    } while (scan.Consume(','));
+  }
+  if (!scan.Consume('}') || !scan.AtEnd()) {
+    *error = "trailing garbage after the request object";
+    return false;
+  }
+
+  if (!cmd.empty()) {
+    if (cmd == "stats") {
+      *command = WireCommand::kStats;
+      return true;
+    }
+    if (cmd == "quit") {
+      *command = WireCommand::kQuit;
+      return true;
+    }
+    *error = "unknown cmd '" + cmd + "' (want stats or quit)";
+    return false;
+  }
+  if (!have_node) {
+    *error = "query needs a 'node' key";
+    return false;
+  }
+  return true;
+}
+
+std::string FormatWireResponse(const ServeResponse& response) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"id\": " << response.id << ", \"node\": " << response.node
+      << ", \"label\": " << response.label << ", \"logits\": [";
+  for (std::size_t j = 0; j < response.logits.size(); ++j) {
+    out << (j == 0 ? "" : ", ") << response.logits[j];
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string FormatWireError(std::int64_t id, const std::string& error) {
+  std::ostringstream out;
+  out << "{\"id\": " << id << ", \"error\": \"" << EscapeJson(error)
+      << "\"}";
+  return out.str();
+}
+
+}  // namespace gcon

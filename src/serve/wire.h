@@ -1,0 +1,51 @@
+// Newline-delimited JSON-ish wire format for `gcon_cli serve`.
+//
+// One request per line, one response line per request, order preserved per
+// connection (requests may be pipelined):
+//
+//   -> {"id": 7, "node": 12}
+//   -> {"id": 8, "node": 3, "edges": [1, 5, 9]}
+//   <- {"id": 7, "node": 12, "label": 2, "logits": [0.1, ...]}
+//   <- {"id": 8, "node": 3, "label": 0, "logits": [...]}
+//   -> {"cmd": "stats"}
+//   <- {"queries": 2, "batches": 1, "p50_us": ..., ...}
+//
+// A request the server cannot parse or serve yields an error line carrying
+// whatever id was recovered: {"id": 7, "error": "..."}.
+//
+// The parser is a hand-rolled scanner for exactly this shape — unquoted
+// whitespace is ignored, unknown keys are rejected (same typo discipline as
+// ModelConfig), nesting is not supported. It exists so clients can be
+// written in two lines of any language, not to be a JSON library.
+#ifndef GCON_SERVE_WIRE_H_
+#define GCON_SERVE_WIRE_H_
+
+#include <string>
+
+#include "serve/inference_session.h"
+
+namespace gcon {
+
+/// Commands a wire line can carry besides a query.
+enum class WireCommand {
+  kQuery,  ///< a ServeRequest (the common case)
+  kStats,  ///< {"cmd": "stats"} — server counters + latency percentiles
+  kQuit,   ///< {"cmd": "quit"} — close this connection
+};
+
+/// Parses one request line. Returns false and fills *error on malformed
+/// input (*request keeps any id recovered before the failure, so the error
+/// response can echo it). On success *command says what the line was; for
+/// kQuery, *request is fully populated.
+bool ParseWireRequest(const std::string& line, WireCommand* command,
+                      ServeRequest* request, std::string* error);
+
+/// Response line (17 significant digits, enough to round-trip doubles).
+std::string FormatWireResponse(const ServeResponse& response);
+
+/// Error line for a request that failed to parse or serve.
+std::string FormatWireError(std::int64_t id, const std::string& error);
+
+}  // namespace gcon
+
+#endif  // GCON_SERVE_WIRE_H_

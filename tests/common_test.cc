@@ -129,6 +129,27 @@ TEST(FlagsDeathTest, OutOfRangeIntRejected) {
               "Invalid value for --runs");
 }
 
+TEST(FlagsDeathTest, GetPositiveIntRejectsZeroAndNegativeNamingTheFlag) {
+  // Serving knobs (--threads/--max_batch/--max_wait_us) use this: zero is
+  // not a mode, it is a broken invocation that must fail loudly.
+  const char* argv[] = {"prog", "--threads=0", "--max_batch=-4"};
+  Flags flags(3, const_cast<char**>(argv),
+              {{"threads", "workers"}, {"max_batch", "batch size"}});
+  EXPECT_EXIT(flags.GetPositiveInt("threads", 1),
+              ::testing::ExitedWithCode(2),
+              "Invalid value for --threads: '0'.*positive integer");
+  EXPECT_EXIT(flags.GetPositiveInt("max_batch", 1),
+              ::testing::ExitedWithCode(2),
+              "Invalid value for --max_batch: '-4'.*positive integer");
+}
+
+TEST(Flags, GetPositiveIntPassesValidValuesAndDefaults) {
+  const char* argv[] = {"prog", "--threads=4"};
+  Flags flags(2, const_cast<char**>(argv), {{"threads", "workers"}});
+  EXPECT_EQ(flags.GetPositiveInt("threads", 1), 4);
+  EXPECT_EQ(flags.GetPositiveInt("absent", 32), 32);
+}
+
 TEST(Flags, WellFormedNumericsStillParse) {
   const char* argv[] = {"prog", "--runs=8", "--scale=0.25", "--shift=-3"};
   Flags flags(4, const_cast<char**>(argv),

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Measures the inference serving tier: runs bench_serve (closed-loop
+# pipelined clients against the in-process InferenceServer) in both modes —
+# max_batch=1 (micro-batching off) and the configured max_batch — and
+# captures its JSON line:
+#
+#   {"workload": "serve cora_ml", ..., "single": {"qps": ...},
+#    "batched": {"qps": ..., "mean_batch": ...}, "speedup": ...}
+#
+# OMP_NUM_THREADS is pinned to 1 so the GEMM's OpenMP loops cannot occupy
+# the cores the client threads need; the ratio isolates the batching
+# engine, not the kernel parallelism. The CI gate asserts speedup >= 2x.
+#
+# Usage: bench_serve_json.sh <path-to-bench_serve> [output.json]
+# GCON_SERVE_BENCH_QUERIES overrides the per-mode query count (default
+# 30000 in the binary).
+set -eu
+
+BENCH_BIN="${1:?usage: bench_serve_json.sh <bench_serve> [out.json]}"
+OUT="${2:-BENCH_serve.json}"
+
+export OMP_NUM_THREADS=1
+
+"${BENCH_BIN}" > "${OUT}"
+
+cat "${OUT}"
+echo "wrote ${OUT}"

@@ -22,6 +22,13 @@
 //            Loads an artifact, runs Eq. (16) private inference on the
 //            graph, and prints per-node argmax predictions (with micro-F1
 //            against the stored labels when --labels is given).
+//   serve    --graph=in.graph --model=in.model [--port=7070] [--threads=1]
+//            [--max_batch=32] [--max_wait_us=200]
+//            Loads the artifact once and serves node-prediction queries
+//            over TCP (127.0.0.1, newline-delimited requests; see
+//            serve/wire.h) through the micro-batching engine. Responses
+//            are bitwise identical to `predict` on the same graph. Runs
+//            until killed; --port=0 picks an ephemeral port (printed).
 //   stats    --graph=in.graph
 //            Prints dataset statistics (the Table II columns).
 //   generate --dataset=cora_ml --scale=0.25 --out=out.graph [--seed=1]
@@ -47,6 +54,8 @@
 #include "graph/stats.h"
 #include "model/adapters.h"
 #include "rng/rng.h"
+#include "serve/inference_session.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -70,6 +79,9 @@ const std::map<std::string, std::string> kSpec = {
     {"dataset", "synthetic dataset name (generate/eval)"},
     {"scale", "synthetic dataset scale factor (generate 1.0, eval 0.2)"},
     {"out", "output path (generate)"},
+    {"port", "TCP port to serve on; 0 = ephemeral (serve, default 7070)"},
+    {"max_batch", "queries coalesced per batch (serve, default 32)"},
+    {"max_wait_us", "batch coalescing deadline in us (serve, default 200)"},
 };
 
 std::string MethodListing() {
@@ -151,11 +163,7 @@ int CmdEval(const gcon::Flags& flags) {
     const gcon::DatasetSpec spec = gcon::Scaled(
         gcon::SpecByName(flags.GetString("dataset", "cora_ml")),
         flags.GetDouble("scale", 0.2));
-    const int runs = flags.GetInt("runs", 1);
-    if (runs <= 0) {
-      std::cerr << "eval: --runs must be positive\n";
-      return 2;
-    }
+    const int runs = flags.GetPositiveInt("runs", 1);
     const std::uint64_t seed =
         static_cast<std::uint64_t>(flags.GetInt("seed", 1));
     gcon::RepeatOptions options;
@@ -203,8 +211,15 @@ int CmdPredict(const gcon::Flags& flags) {
     return 2;
   }
   const gcon::Graph graph = gcon::LoadGraph(graph_path);
-  const gcon::GconArtifact artifact = gcon::LoadModel(model_path);
-  const gcon::Matrix logits = artifact.Infer(graph);
+  gcon::Matrix logits;
+  try {
+    const gcon::GconArtifact artifact = gcon::LoadModel(model_path);
+    logits = artifact.Infer(graph);
+  } catch (const std::exception& e) {
+    // A missing/corrupt artifact is a usage error, not a crash.
+    std::cerr << "predict: " << e.what() << "\n";
+    return 2;
+  }
   const std::vector<int> predictions = gcon::ArgmaxPredictions(logits);
   for (int v = 0; v < graph.num_nodes(); ++v) {
     std::cout << v << " " << predictions[static_cast<std::size_t>(v)] << "\n";
@@ -218,6 +233,37 @@ int CmdPredict(const gcon::Flags& flags) {
               << "\n";
   }
   return 0;
+}
+
+int CmdServe(const gcon::Flags& flags) {
+  const std::string graph_path = flags.GetString("graph", "");
+  const std::string model_path = flags.GetString("model", "");
+  if (graph_path.empty() || model_path.empty()) {
+    std::cerr << "serve requires --graph and --model\n";
+    return 2;
+  }
+  // Strict knob validation up front: zero/negative worker counts, batch
+  // sizes, or deadlines are invocation bugs, not modes (exit 2, flag named).
+  gcon::ServeOptions options;
+  options.threads = flags.GetPositiveInt("threads", 1);
+  options.max_batch = flags.GetPositiveInt("max_batch", 32);
+  options.max_wait_us = flags.GetPositiveInt("max_wait_us", 200);
+  const int port = flags.GetInt("port", 7070);
+  if (port < 0 || port > 65535) {
+    std::cerr << "serve: --port must be in [0, 65535]\n";
+    return 2;
+  }
+
+  try {
+    gcon::Graph graph = gcon::LoadGraph(graph_path);
+    gcon::InferenceSession session =
+        gcon::InferenceSession::FromFile(model_path, std::move(graph));
+    gcon::InferenceServer server(std::move(session), options);
+    return gcon::RunTcpServer(&server, port);
+  } catch (const std::exception& e) {
+    std::cerr << "serve: " << e.what() << "\n";
+    return 2;
+  }
 }
 
 int CmdStats(const gcon::Flags& flags) {
@@ -265,7 +311,7 @@ const std::set<std::string> kSwitches = {"share-data", "expand", "labels"};
 int main(int argc, char** argv) {
   const gcon::Flags flags(argc, argv, kSpec, kSwitches);
   if (flags.positional().empty()) {
-    std::cerr << "usage: gcon_cli <train|eval|predict|stats|generate> "
+    std::cerr << "usage: gcon_cli <train|eval|predict|serve|stats|generate> "
                  "[flags]\n"
               << flags.Usage() << MethodListing();
     return 2;
@@ -274,6 +320,7 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags);
   if (command == "eval") return CmdEval(flags);
   if (command == "predict") return CmdPredict(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "generate") return CmdGenerate(flags);
   std::cerr << "unknown command: " << command << "\n";

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Smoke client for `gcon_cli serve` (CI and local checks).
+
+Connects to 127.0.0.1:<port>, queries every node id in [0, nodes), and
+prints "node label" lines in node order — the same shape `gcon_cli
+predict` prints — so the caller can diff served against offline output.
+Exercises pipelining (all requests are written before responses are read)
+so the server-side micro-batcher actually coalesces.
+
+Usage: serve_smoke_client.py <port> <nodes> [connect_timeout_s]
+Exits non-zero on connection failure, an error response, or a short read.
+"""
+import json
+import socket
+import sys
+import time
+
+
+def connect(port: int, timeout_s: float) -> socket.socket:
+    """Retry until the server finishes loading the artifact and listens."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            return socket.create_connection(("127.0.0.1", port), timeout=5)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def main() -> int:
+    port = int(sys.argv[1])
+    nodes = int(sys.argv[2])
+    timeout_s = float(sys.argv[3]) if len(sys.argv) > 3 else 10.0
+
+    sock = connect(port, timeout_s)
+    stream = sock.makefile("rw")
+    for v in range(nodes):
+        stream.write(json.dumps({"id": v, "node": v}) + "\n")
+    stream.flush()
+
+    labels = {}
+    for _ in range(nodes):
+        line = stream.readline()
+        if not line:
+            print("short read from server", file=sys.stderr)
+            return 1
+        response = json.loads(line)
+        if "error" in response:
+            print(f"server error: {response['error']}", file=sys.stderr)
+            return 1
+        labels[response["node"]] = response["label"]
+
+    stream.write('{"cmd": "stats"}\n')
+    stream.flush()
+    print(f"server stats: {stream.readline().strip()}", file=sys.stderr)
+    stream.write('{"cmd": "quit"}\n')
+    stream.flush()
+    sock.close()
+
+    for v in range(nodes):
+        print(v, labels[v])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
