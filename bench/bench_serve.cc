@@ -7,22 +7,33 @@
 // Drives N pipelined closed-loop client threads (each keeps `window`
 // queries in flight and blocks on the oldest — the shape a real RPC client
 // produces) against an in-process InferenceServer over a synthetic
-// Cora-sized graph, twice: once with micro-batching disabled
-// (max_batch=1 — every query is its own batch, paying the full
-// queue/wakeup round trip) and once with the configured max_batch. Emits
-// one JSON object on stdout:
+// Cora-sized graph, four times:
+//
+//   single:    micro-batching disabled (max_batch=1 — every query its own
+//              batch, paying the full queue/wakeup round trip);
+//   batched:   the configured max_batch;
+//   routed:    two named artifacts in one server, clients alternating the
+//              wire "model" field per query — the multi-model routing tax
+//              (per-model queues halve the mean batch);
+//   inductive: feature-carrying queries (an unseen node's raw features +
+//              edge list per request — each batch pays a coalesced encoder
+//              forward on top of the hop/GEMM).
+//
+// Emits one JSON object on stdout:
 //
 //   {"workload": ..., "nodes": ..., "clients": ..., "queries": ...,
 //    "threads": ..., "max_batch": ..., "max_wait_us": ...,
 //    "single":  {"qps": ..., "p50_us": ..., "p95_us": ..., "p99_us": ...,
 //                "mean_batch": ...},
-//    "batched": {...same keys...},
-//    "speedup": batched_qps / single_qps}
+//    "batched": {...}, "routed": {...}, "inductive": {...},
+//    "speedup": batched_qps / single_qps,
+//    "routing_cost": routed_qps / batched_qps}
 //
-// CI gates speedup >= 2x (tools/bench_serve_json.sh -> BENCH_serve.json).
-// The artifact is synthesized (fresh Glorot encoder, random Θ) — serving
-// throughput does not care about model quality, and skipping training
-// keeps the bench honest about what it measures.
+// CI gates speedup >= 2x and routing_cost >= 0.9 (multi-model routing may
+// cost < 10% QPS vs single-model; tools/bench_serve_json.sh ->
+// BENCH_serve.json). The artifacts are synthesized (fresh Glorot encoder,
+// random Θ) — serving throughput does not care about model quality, and
+// skipping training keeps the bench honest about what it measures.
 //
 // GCON_SERVE_BENCH_QUERIES overrides --queries (CI sizing knob).
 #include <cstdint>
@@ -69,15 +80,27 @@ struct ModeResult {
   double mean_batch = 0.0;
 };
 
+/// What each client sends: plain node queries, node queries alternating
+/// between two model names, or feature-carrying (inductive) queries.
+enum class QueryShape { kNode, kRouted, kInductive };
+
 /// One closed-loop run: `clients` threads each keep `window` queries in
 /// flight (submit, then block on the oldest outstanding future — the
 /// pipelined closed loop a real RPC client runs), issuing `queries` total
-/// round-robin over the node ids.
-ModeResult RunMode(const gcon::GconArtifact& artifact,
+/// round-robin over the node ids. `models` has one artifact for the
+/// single-model shapes and two for kRouted.
+ModeResult RunMode(const std::vector<const gcon::GconArtifact*>& artifacts,
                    const gcon::Graph& graph, gcon::ServeOptions options,
-                   int clients, int queries, int window) {
-  gcon::InferenceServer server(gcon::InferenceSession(artifact, graph),
-                               options);
+                   int clients, int queries, int window, QueryShape shape) {
+  std::vector<gcon::ModelRouter::NamedModel> models;
+  models.push_back({"default", gcon::InferenceSession(*artifacts[0], graph)});
+  for (std::size_t m = 1; m < artifacts.size(); ++m) {
+    models.push_back({"alt" + std::to_string(m),
+                      gcon::InferenceSession(*artifacts[m], graph)});
+  }
+  std::vector<std::string> names;
+  for (const auto& model : models) names.push_back(model.name);
+  gcon::InferenceServer server(std::move(models), options);
   const int n = graph.num_nodes();
 
   auto client_loop = [&](int first, int count) {
@@ -85,8 +108,26 @@ ModeResult RunMode(const gcon::GconArtifact& artifact,
     for (int q = 0; q < count; ++q) {
       gcon::ServeRequest request;
       request.id = first + q;
-      request.node = (first + q * 13) % n;
-      inflight.push_back(server.QueryAsync(request));
+      const int v = (first + q * 13) % n;
+      switch (shape) {
+        case QueryShape::kNode:
+          request.node = v;
+          break;
+        case QueryShape::kRouted:
+          request.node = v;
+          request.model = names[static_cast<std::size_t>(q) % names.size()];
+          break;
+        case QueryShape::kInductive:
+          // An unseen node that happens to look like node v: its raw
+          // feature row plus its edge list, shipped with the query.
+          request.has_features = true;
+          request.features = graph.features().RowCopy(
+              static_cast<std::size_t>(v));
+          request.has_edges = true;
+          request.edges = graph.Neighbors(v);
+          break;
+      }
+      inflight.push_back(server.QueryAsync(std::move(request)));
       if (static_cast<int>(inflight.size()) >= window) {
         inflight.front().get();
         inflight.pop_front();
@@ -134,6 +175,12 @@ void AppendMode(std::ostringstream* out, const char* key,
        << ", \"mean_batch\": " << result.mean_batch << "}";
 }
 
+void PrintMode(const char* name, const ModeResult& result) {
+  std::cerr << "  " << name << ": " << static_cast<long>(result.qps)
+            << " QPS, mean batch " << result.mean_batch << ", "
+            << result.latency.ToString() << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,6 +212,8 @@ int main(int argc, char** argv) {
   gcon::Rng rng(seed);
   const gcon::Graph graph = gcon::GenerateDataset(spec, &rng);
   const gcon::GconArtifact artifact = SyntheticArtifact(graph, 16, seed);
+  const gcon::GconArtifact alt_artifact =
+      SyntheticArtifact(graph, 16, seed + 100);
 
   gcon::ServeOptions single = batched;
   single.max_batch = 1;
@@ -173,20 +222,32 @@ int main(int argc, char** argv) {
             << " nodes), " << clients << " clients x "
             << queries / clients << " queries, server threads="
             << batched.threads << "\n";
-  const ModeResult single_result =
-      RunMode(artifact, graph, single, clients, queries, window);
-  std::cerr << "  max_batch=1:  " << static_cast<long>(single_result.qps)
-            << " QPS, " << single_result.latency.ToString() << "\n";
-  const ModeResult batched_result =
-      RunMode(artifact, graph, batched, clients, queries, window);
-  std::cerr << "  max_batch=" << batched.max_batch << ": "
-            << static_cast<long>(batched_result.qps) << " QPS, mean batch "
-            << batched_result.mean_batch << ", "
-            << batched_result.latency.ToString() << "\n";
+  const std::vector<const gcon::GconArtifact*> one = {&artifact};
+  const std::vector<const gcon::GconArtifact*> two = {&artifact,
+                                                      &alt_artifact};
+  const ModeResult single_result = RunMode(one, graph, single, clients,
+                                           queries, window, QueryShape::kNode);
+  PrintMode("max_batch=1  (single)   ", single_result);
+  const ModeResult batched_result = RunMode(
+      one, graph, batched, clients, queries, window, QueryShape::kNode);
+  PrintMode("batched                 ", batched_result);
+  const ModeResult routed_result = RunMode(
+      two, graph, batched, clients, queries, window, QueryShape::kRouted);
+  PrintMode("routed (2 models)       ", routed_result);
+  const ModeResult inductive_result =
+      RunMode(one, graph, batched, clients, queries, window,
+              QueryShape::kInductive);
+  PrintMode("inductive (features)    ", inductive_result);
+
   const double speedup = single_result.qps > 0.0
                              ? batched_result.qps / single_result.qps
                              : 0.0;
-  std::cerr << "  micro-batching speedup: " << speedup << "x\n";
+  const double routing_cost = batched_result.qps > 0.0
+                                  ? routed_result.qps / batched_result.qps
+                                  : 0.0;
+  std::cerr << "  micro-batching speedup: " << speedup
+            << "x; 2-model routing keeps " << routing_cost * 100.0
+            << "% of single-model QPS\n";
 
   std::ostringstream out;
   out.precision(6);
@@ -199,7 +260,12 @@ int main(int argc, char** argv) {
   AppendMode(&out, "single", single_result);
   out << ", ";
   AppendMode(&out, "batched", batched_result);
-  out << ", \"speedup\": " << speedup << "}";
+  out << ", ";
+  AppendMode(&out, "routed", routed_result);
+  out << ", ";
+  AppendMode(&out, "inductive", inductive_result);
+  out << ", \"speedup\": " << speedup
+      << ", \"routing_cost\": " << routing_cost << "}";
   std::cout << out.str() << std::endl;
   return 0;
 }

@@ -181,6 +181,10 @@ class GconGraphModel : public GraphModel {
     return true;
   }
 
+  const GconArtifact* ReleaseArtifact() const override {
+    return trained_ ? &*artifact_ : nullptr;
+  }
+
  private:
   internal::BudgetKeys budget_;
   GconConfig config_;

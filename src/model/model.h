@@ -30,6 +30,8 @@
 
 namespace gcon {
 
+struct GconArtifact;  // core/model_io.h — the published release artifact
+
 /// String-keyed configuration shared by every GraphModel. Values are stored
 /// as strings (exactly as given on the command line) and converted on
 /// access; conversion failures throw std::invalid_argument naming the key.
@@ -148,6 +150,15 @@ class GraphModel {
   /// Loads a model previously written by Save; returns false when
   /// unsupported.
   virtual bool Load(const std::string& path);
+
+  /// The "gcon-model v1" release artifact backing this model, when the
+  /// method publishes one and has been trained/loaded; nullptr otherwise.
+  /// The serving tier uses this to give registry models the per-query
+  /// Eq. (16) path — private edge lists and feature-carrying (inductive)
+  /// queries — instead of falling back to precomputed Predict logits.
+  /// The pointer stays valid while the model is alive and untrained state
+  /// is not re-entered (serving copies the artifact anyway).
+  virtual const GconArtifact* ReleaseArtifact() const { return nullptr; }
 
  protected:
   /// Fills the metric/bookkeeping fields of a TrainResult from logits and

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "common/check.h"
+
 namespace gcon {
 namespace {
 
@@ -29,8 +31,19 @@ void ServeOptions::Validate() const {
 }
 
 MicroBatcher::MicroBatcher(ServeOptions options, BatchHandler handler)
-    : options_(options), handler_(std::move(handler)) {
+    : MicroBatcher(options, std::vector<BatchHandler>{std::move(handler)}) {}
+
+MicroBatcher::MicroBatcher(ServeOptions options,
+                           std::vector<BatchHandler> handlers)
+    : options_(options) {
   options_.Validate();
+  if (handlers.empty()) {
+    throw std::invalid_argument("MicroBatcher needs at least one handler");
+  }
+  queues_.reserve(handlers.size());
+  for (BatchHandler& handler : handlers) {
+    queues_.push_back(std::make_unique<Queue>(std::move(handler)));
+  }
   workers_.reserve(static_cast<std::size_t>(options_.threads));
   for (int t = 0; t < options_.threads; ++t) {
     workers_.emplace_back(&MicroBatcher::WorkerMain, this);
@@ -50,7 +63,9 @@ void MicroBatcher::Stop() {
   }
 }
 
-std::future<ServeResponse> MicroBatcher::Submit(ServeRequest request) {
+std::future<ServeResponse> MicroBatcher::Submit(std::size_t queue,
+                                                ServeRequest request) {
+  GCON_CHECK_LT(queue, queues_.size());
   auto pending = std::make_unique<PendingQuery>();
   pending->request = std::move(request);
   pending->enqueued = std::chrono::steady_clock::now();
@@ -60,70 +75,87 @@ std::future<ServeResponse> MicroBatcher::Submit(ServeRequest request) {
     if (stopping_) {
       throw std::runtime_error("MicroBatcher: Submit after Stop");
     }
-    queue_.push_back(std::move(pending));
+    queues_[queue]->pending.push_back(std::move(pending));
+    ++total_pending_;
   }
   arrival_cv_.notify_one();
   return future;
 }
 
-std::vector<std::unique_ptr<PendingQuery>> MicroBatcher::TakeBatchLocked(
-    std::unique_lock<std::mutex>* lock) {
+MicroBatcher::Queue* MicroBatcher::TakeBatchLocked(
+    std::unique_lock<std::mutex>* lock,
+    std::vector<std::unique_ptr<PendingQuery>>* batch) {
   const std::size_t max_batch = static_cast<std::size_t>(options_.max_batch);
   for (;;) {
-    arrival_cv_.wait(*lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return {};  // stopping and drained
+    arrival_cv_.wait(*lock, [&] { return stopping_ || total_pending_ > 0; });
+    if (total_pending_ == 0) return nullptr;  // stopping and drained
+
+    // FIFO across models: serve the queue whose head waited longest.
+    Queue* queue = nullptr;
+    for (auto& candidate : queues_) {
+      if (candidate->pending.empty()) continue;
+      if (queue == nullptr || candidate->pending.front()->enqueued <
+                                  queue->pending.front()->enqueued) {
+        queue = candidate.get();
+      }
+    }
 
     // An existing backlog already amortizes the batch overhead: ship it
     // now — delaying it only idles every queued client (a straggler wait
     // here measured as a 3x throughput LOSS under closed-loop load). Only
-    // a lone query is worth holding back, briefly, for company.
-    if (queue_.size() == 1 && max_batch > 1 && !stopping_) {
+    // a lone query — lone across EVERY queue; pending work for another
+    // model must not idle this worker — is worth holding back, briefly,
+    // for company.
+    if (total_pending_ == 1 && max_batch > 1 && !stopping_) {
       const auto deadline =
-          queue_.front()->enqueued +
+          queue->pending.front()->enqueued +
           std::chrono::microseconds(options_.max_wait_us);
-      while (queue_.size() < max_batch && !stopping_) {
+      while (queue->pending.size() < max_batch && !stopping_ &&
+             total_pending_ == queue->pending.size()) {
         const auto now = std::chrono::steady_clock::now();
         if (now >= deadline) break;
         const auto step = std::min<std::chrono::steady_clock::duration>(
             deadline - now, kArrivalLull);
-        const std::size_t before = queue_.size();
+        const std::size_t before = total_pending_;
         arrival_cv_.wait_for(*lock, step);
-        if (queue_.size() <= before) break;  // lull — ship what we have
+        if (total_pending_ <= before) break;  // lull — ship what we have
       }
     }
-    if (queue_.empty()) continue;  // a peer worker took the backlog
+    if (queue->pending.empty()) continue;  // a peer worker took the backlog
 
-    std::vector<std::unique_ptr<PendingQuery>> batch;
-    const std::size_t take = std::min(queue_.size(), max_batch);
-    batch.reserve(take);
+    const std::size_t take = std::min(queue->pending.size(), max_batch);
+    batch->clear();
+    batch->reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+      batch->push_back(std::move(queue->pending.front()));
+      queue->pending.pop_front();
     }
-    if (!queue_.empty()) {
-      // Leftovers belong to another worker; wake one.
+    total_pending_ -= take;
+    if (total_pending_ > 0) {
+      // Leftovers (this queue's or another's) belong to a peer; wake one.
       arrival_cv_.notify_one();
     }
-    return batch;
+    return queue;
   }
 }
 
 void MicroBatcher::WorkerMain() {
   for (;;) {
     std::vector<std::unique_ptr<PendingQuery>> batch;
+    Queue* queue = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      batch = TakeBatchLocked(&lock);
-      if (batch.empty()) return;
-      ++batches_run_;
-      queries_served_ += batch.size();
+      queue = TakeBatchLocked(&lock, &batch);
+      if (queue == nullptr) return;
+      ++queue->batches_run;
+      queue->queries_served += batch.size();
     }
 
     std::vector<PendingQuery*> views;
     views.reserve(batch.size());
     for (auto& p : batch) views.push_back(p.get());
     try {
-      handler_(views);
+      queue->handler(views);
       const auto done = std::chrono::steady_clock::now();
       for (auto& p : batch) {
         p->response.id = p->request.id;
@@ -131,7 +163,7 @@ void MicroBatcher::WorkerMain() {
         p->response.latency_us =
             std::chrono::duration<double, std::micro>(done - p->enqueued)
                 .count();
-        latency_.Record(p->response.latency_us);
+        queue->latency.Record(p->response.latency_us);
         p->promise.set_value(std::move(p->response));
       }
     } catch (...) {
@@ -147,19 +179,42 @@ void MicroBatcher::WorkerMain() {
 
 void MicroBatcher::ResetCounters() {
   std::lock_guard<std::mutex> lock(mu_);
-  queries_served_ = 0;
-  batches_run_ = 0;
-  latency_.Reset();
+  for (auto& queue : queues_) {
+    queue->queries_served = 0;
+    queue->batches_run = 0;
+    queue->latency.Reset();
+  }
+}
+
+const LatencyStats& MicroBatcher::latency(std::size_t queue) const {
+  GCON_CHECK_LT(queue, queues_.size());
+  return queues_[queue]->latency;
 }
 
 std::uint64_t MicroBatcher::queries_served() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queries_served_;
+  std::uint64_t total = 0;
+  for (const auto& queue : queues_) total += queue->queries_served;
+  return total;
 }
 
 std::uint64_t MicroBatcher::batches_run() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return batches_run_;
+  std::uint64_t total = 0;
+  for (const auto& queue : queues_) total += queue->batches_run;
+  return total;
+}
+
+std::uint64_t MicroBatcher::queries_served(std::size_t queue) const {
+  GCON_CHECK_LT(queue, queues_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_[queue]->queries_served;
+}
+
+std::uint64_t MicroBatcher::batches_run(std::size_t queue) const {
+  GCON_CHECK_LT(queue, queues_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_[queue]->batches_run;
 }
 
 }  // namespace gcon

@@ -12,14 +12,23 @@
 //     queue refills while the previous batch computes, so batches form
 //     naturally and the deadline is a latency bound, not a throughput tax.
 //
+// Multi-queue mode (the multi-model server): the batcher hosts N queues,
+// one per handler — per-model pending deque, counters, and latency
+// histogram — behind ONE shared pool of resident workers. A batch never
+// mixes queues (each model's GEMM needs its own session), workers drain
+// whichever queue has the oldest waiting query, and the lone-query
+// hold-back applies only when that query is the only one pending anywhere
+// (work queued for another model must not idle a worker). A single-queue
+// batcher is exactly the old behavior.
+//
 // Because the session's per-row results are independent of batch
 // composition (see inference_session.h), the nondeterministic coalescing
 // schedule is invisible in the responses — batching changes throughput and
 // latency, never bits.
 //
-// Workers are resident threads (spawned in Start, parked on the queue's
-// condition variable, joined in Stop) — the serving tier never pays a
-// thread spawn per request or per batch.
+// Workers are resident threads (spawned in the constructor, parked on the
+// queue's condition variable, joined in Stop) — the serving tier never pays
+// a thread spawn per request, per batch, or per model.
 #ifndef GCON_SERVE_BATCHER_H_
 #define GCON_SERVE_BATCHER_H_
 
@@ -41,7 +50,7 @@ namespace gcon {
 
 /// Serving knobs, shared by the in-process API, the CLI, and the bench.
 struct ServeOptions {
-  int threads = 1;       ///< batch worker threads
+  int threads = 1;       ///< batch worker threads (shared across queues)
   int max_batch = 32;    ///< queries coalesced into one handler call
   int max_wait_us = 200; ///< coalescing deadline past the oldest arrival
 
@@ -66,49 +75,73 @@ class MicroBatcher {
   /// the batch receives the exception.
   using BatchHandler = std::function<void(std::vector<PendingQuery*>&)>;
 
-  /// Validates `options` and starts options.threads resident workers.
+  /// Single-queue batcher: validates `options` and starts options.threads
+  /// resident workers over one queue.
   MicroBatcher(ServeOptions options, BatchHandler handler);
+
+  /// Multi-queue batcher: one queue per handler (at least one), all served
+  /// by the same options.threads resident workers.
+  MicroBatcher(ServeOptions options, std::vector<BatchHandler> handlers);
+
   ~MicroBatcher();
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
-  /// Enqueues one query; the future resolves when its batch completes.
-  std::future<ServeResponse> Submit(ServeRequest request);
+  /// Enqueues one query on `queue`; the future resolves when its batch
+  /// completes. The single-argument form targets queue 0.
+  std::future<ServeResponse> Submit(ServeRequest request) {
+    return Submit(0, std::move(request));
+  }
+  std::future<ServeResponse> Submit(std::size_t queue, ServeRequest request);
 
-  /// Drains the queue and joins the workers. Submissions after Stop fail
+  /// Drains every queue and joins the workers. Submissions after Stop fail
   /// with std::runtime_error. Idempotent.
   void Stop();
 
-  /// Enqueue-to-completion latency of every completed query.
-  const LatencyStats& latency() const { return latency_; }
+  /// Enqueue-to-completion latency of every completed query on `queue`.
+  const LatencyStats& latency(std::size_t queue = 0) const;
 
-  /// Zeroes the query/batch counters and the latency histogram. Call
-  /// quiesced (no in-flight queries) — benches use it to drop warm-up
-  /// traffic from the reported numbers.
+  /// Zeroes the query/batch counters and latency histograms of every
+  /// queue. Call quiesced (no in-flight queries) — benches use it to drop
+  /// warm-up traffic from the reported numbers.
   void ResetCounters();
 
+  std::size_t num_queues() const { return queues_.size(); }
+  /// Aggregates across every queue.
   std::uint64_t queries_served() const;
   std::uint64_t batches_run() const;
+  /// Per-queue counters.
+  std::uint64_t queries_served(std::size_t queue) const;
+  std::uint64_t batches_run(std::size_t queue) const;
   const ServeOptions& options() const { return options_; }
 
  private:
+  /// One model's lane: its pending deque, counters, and histogram. The
+  /// handler is fixed at construction; everything else is guarded by mu_
+  /// (the LatencyStats is internally lock-free).
+  struct Queue {
+    explicit Queue(BatchHandler h) : handler(std::move(h)) {}
+    BatchHandler handler;
+    std::deque<std::unique_ptr<PendingQuery>> pending;
+    std::uint64_t queries_served = 0;
+    std::uint64_t batches_run = 0;
+    LatencyStats latency;
+  };
+
   void WorkerMain();
-  /// Pops the next batch (caller holds lock on entry/exit); empty result
-  /// means "stopping and drained".
-  std::vector<std::unique_ptr<PendingQuery>> TakeBatchLocked(
-      std::unique_lock<std::mutex>* lock);
+  /// Pops the next batch into *batch and returns its queue (caller holds
+  /// lock on entry/exit); nullptr means "stopping and drained".
+  Queue* TakeBatchLocked(std::unique_lock<std::mutex>* lock,
+                         std::vector<std::unique_ptr<PendingQuery>>* batch);
 
   ServeOptions options_;
-  BatchHandler handler_;
 
   mutable std::mutex mu_;
   std::condition_variable arrival_cv_;
-  std::deque<std::unique_ptr<PendingQuery>> queue_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::size_t total_pending_ = 0;
   bool stopping_ = false;
-  std::uint64_t queries_served_ = 0;
-  std::uint64_t batches_run_ = 0;
 
-  LatencyStats latency_;
   std::vector<std::thread> workers_;
 };
 

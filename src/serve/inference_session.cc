@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "linalg/ops.h"
+#include "propagation/cache.h"
 
 namespace gcon {
 
@@ -19,30 +20,51 @@ namespace {
   throw std::runtime_error("cannot serve this artifact: " + what);
 }
 
+/// Sorted, deduplicated, in-range-neighbor list for a rebuilt transition
+/// row. `self` is excluded (no self-loops, matching Graph's invariant).
+std::vector<int> SanitizeEdges(const std::vector<int>& edges, int self,
+                               int num_nodes) {
+  std::vector<int> sanitized = edges;
+  std::sort(sanitized.begin(), sanitized.end());
+  sanitized.erase(std::unique(sanitized.begin(), sanitized.end()),
+                  sanitized.end());
+  sanitized.erase(
+      std::remove_if(sanitized.begin(), sanitized.end(),
+                     [&](int u) {
+                       return u < 0 || u >= num_nodes || u == self;
+                     }),
+      sanitized.end());
+  return sanitized;
+}
+
 }  // namespace
 
-InferenceSession::InferenceSession(GconArtifact artifact, Graph graph)
-    : per_query_(true),
-      graph_(std::move(graph)),
-      artifact_(std::move(artifact)) {
+void InferenceSession::InitArtifact(GconArtifact artifact,
+                                    std::shared_ptr<const Graph> graph) {
+  per_query_ = true;
+  graph_ = std::move(graph);
+  artifact_ = std::move(artifact);
   if (artifact_->steps.empty()) {
     BadSession("it declares no propagation steps");
   }
-  if (graph_.num_nodes() <= 0) {
+  if (graph_ == nullptr || graph_->num_nodes() <= 0) {
     BadSession("the serving graph is empty");
   }
   const int encoder_in = artifact_->encoder.options().dims.front();
-  if (graph_.feature_dim() != encoder_in) {
+  if (graph_->feature_dim() != encoder_in) {
     BadSession("the serving graph has " +
-               std::to_string(graph_.feature_dim()) +
+               std::to_string(graph_->feature_dim()) +
                "-dim features but the encoder expects " +
                std::to_string(encoder_in));
   }
   // The whole-graph work, done once: exactly the calls Infer makes, so each
-  // encoded row is bitwise identical to the offline pipeline's.
+  // encoded row is bitwise identical to the offline pipeline's. The
+  // transition comes through the same cache Infer uses — a serving process
+  // that also ran offline inference on this graph reuses the build.
   encoded_ = artifact_->encoder.HiddenRepresentation(
-      graph_.features(), artifact_->encoder.num_layers() - 1);
+      graph_->features(), artifact_->encoder.num_layers() - 1);
   RowL2NormalizeInPlace(&encoded_);
+  transition_ = PropagationCache::Global().Transition(*graph_).csr;
   alpha_inf_ = artifact_->alpha_inference >= 0.0 ? artifact_->alpha_inference
                                                 : artifact_->alpha;
   if (artifact_->theta.rows() != artifact_->steps.size() * encoded_.cols()) {
@@ -53,19 +75,46 @@ InferenceSession::InferenceSession(GconArtifact artifact, Graph graph)
   num_classes_ = artifact_->theta.cols();
 }
 
+InferenceSession::InferenceSession(GconArtifact artifact, Graph graph)
+    : InferenceSession(std::move(artifact),
+                       std::make_shared<const Graph>(std::move(graph))) {}
+
+InferenceSession::InferenceSession(GconArtifact artifact,
+                                   std::shared_ptr<const Graph> graph) {
+  InitArtifact(std::move(artifact), std::move(graph));
+}
+
 InferenceSession::InferenceSession(const GraphModel& model, Graph graph)
-    : per_query_(false), graph_(std::move(graph)) {
-  if (graph_.num_nodes() <= 0) {
+    : InferenceSession(model,
+                       std::make_shared<const Graph>(std::move(graph))) {}
+
+InferenceSession::InferenceSession(const GraphModel& model,
+                                   std::shared_ptr<const Graph> graph) {
+  // A model that publishes its release artifact gets the full per-query
+  // path — private edge lists and feature-carrying queries included.
+  if (const GconArtifact* artifact = model.ReleaseArtifact()) {
+    InitArtifact(*artifact, std::move(graph));
+    return;
+  }
+  per_query_ = false;
+  graph_ = std::move(graph);
+  if (graph_ == nullptr || graph_->num_nodes() <= 0) {
     throw std::runtime_error("cannot serve an empty graph");
   }
-  dense_logits_ = model.Predict(graph_);
+  dense_logits_ = model.Predict(*graph_);
   GCON_CHECK_EQ(dense_logits_.rows(),
-                static_cast<std::size_t>(graph_.num_nodes()));
+                static_cast<std::size_t>(graph_->num_nodes()));
   num_classes_ = dense_logits_.cols();
 }
 
 InferenceSession InferenceSession::FromFile(const std::string& model_path,
                                             Graph graph) {
+  return FromFile(model_path,
+                  std::make_shared<const Graph>(std::move(graph)));
+}
+
+InferenceSession InferenceSession::FromFile(
+    const std::string& model_path, std::shared_ptr<const Graph> graph) {
   GconArtifact artifact = LoadModel(model_path);  // throws with the path
   try {
     return InferenceSession(std::move(artifact), std::move(graph));
@@ -77,10 +126,28 @@ InferenceSession InferenceSession::FromFile(const std::string& model_path,
 }
 
 void InferenceSession::ValidateRequest(const ServeRequest& request) const {
-  if (request.node < 0 || request.node >= graph_.num_nodes()) {
+  if (request.has_features) {
+    if (!per_query_) {
+      throw std::invalid_argument(
+          "feature-carrying queries need a gcon artifact session; this "
+          "session serves precomputed logits");
+    }
+    if (request.node != -1) {
+      throw std::invalid_argument(
+          "a query carries either 'node' or 'features', not both");
+    }
+    if (static_cast<int>(request.features.size()) != graph_->feature_dim()) {
+      throw std::invalid_argument(
+          "query features have " + std::to_string(request.features.size()) +
+          " values but the encoder expects " +
+          std::to_string(graph_->feature_dim()));
+    }
+    return;
+  }
+  if (request.node < 0 || request.node >= graph_->num_nodes()) {
     throw std::invalid_argument(
         "node " + std::to_string(request.node) + " out of range [0, " +
-        std::to_string(graph_.num_nodes()) + ")");
+        std::to_string(graph_->num_nodes()) + ")");
   }
   if (request.has_edges && !per_query_) {
     throw std::invalid_argument(
@@ -89,8 +156,9 @@ void InferenceSession::ValidateRequest(const ServeRequest& request) const {
   }
 }
 
-void InferenceSession::HopRow(int node, const std::vector<int>& neighbors,
-                              double* out) const {
+void InferenceSession::RebuiltHopRow(int self_col, const double* self_row,
+                                     const std::vector<int>& neighbors,
+                                     double* out) const {
   const std::size_t d = encoded_.cols();
   // Transition row values exactly as BuildTransition writes them: every
   // off-diagonal entry min(1/(k+1), 1/2), and the diagonal accumulated by
@@ -102,23 +170,48 @@ void InferenceSession::HopRow(int node, const std::vector<int>& neighbors,
   for (std::size_t i = 0; i < neighbors.size(); ++i) diag -= off;
 
   // Accumulate in CSR order — columns ascending with the diagonal merged at
-  // its sorted position — mirroring SpmmAxpby's per-row loop.
+  // its sorted position — mirroring SpmmAxpby's per-row loop. An inductive
+  // query's virtual node sits at column n, past every neighbor, so its
+  // diagonal lands last, exactly where BuildTransition on the augmented
+  // graph puts it.
   std::vector<double> sum(d, 0.0);
-  auto accumulate = [&](int col, double value) {
-    const double* zrow = encoded_.RowPtr(static_cast<std::size_t>(col));
+  auto accumulate = [&](const double* zrow, double value) {
     for (std::size_t j = 0; j < d; ++j) sum[j] += value * zrow[j];
   };
   bool diag_done = false;
   for (int neighbor : neighbors) {
-    if (!diag_done && node < neighbor) {
-      accumulate(node, diag);
+    if (!diag_done && self_col < neighbor) {
+      accumulate(self_row, diag);
       diag_done = true;
     }
-    accumulate(neighbor, off);
+    accumulate(encoded_.RowPtr(static_cast<std::size_t>(neighbor)), off);
   }
-  if (!diag_done) accumulate(node, diag);
+  if (!diag_done) accumulate(self_row, diag);
 
   // out = (1 - alpha_I) * (Ã_v · X̄) + alpha_I * X̄_v, the SpmmAxpby tail.
+  const double a = 1.0 - alpha_inf_;
+  const double b = alpha_inf_;
+  for (std::size_t j = 0; j < d; ++j) {
+    out[j] = a * sum[j] + b * self_row[j];
+  }
+}
+
+void InferenceSession::CachedHopRow(int node, double* out) const {
+  // Replays SpmmAxpby row `node` verbatim over the cached transition: same
+  // entries, same column-ascending order, same a·sum + b·x tail.
+  const std::size_t d = encoded_.cols();
+  const CsrMatrix& t = *transition_;
+  const std::vector<std::int64_t>& row_ptr = t.row_ptr();
+  const std::vector<std::int32_t>& col_idx = t.col_idx();
+  const std::vector<double>& values = t.values();
+  std::vector<double> sum(d, 0.0);
+  for (std::int64_t k = row_ptr[static_cast<std::size_t>(node)];
+       k < row_ptr[static_cast<std::size_t>(node) + 1]; ++k) {
+    const double value = values[static_cast<std::size_t>(k)];
+    const double* zrow = encoded_.RowPtr(
+        static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)]));
+    for (std::size_t j = 0; j < d; ++j) sum[j] += value * zrow[j];
+  }
   const double a = 1.0 - alpha_inf_;
   const double b = alpha_inf_;
   const double* xrow = encoded_.RowPtr(static_cast<std::size_t>(node));
@@ -128,28 +221,32 @@ void InferenceSession::HopRow(int node, const std::vector<int>& neighbors,
 }
 
 void InferenceSession::FillFeatureRow(const ServeRequest& request,
+                                      const double* encoded_query_row,
                                       double* row) const {
   const std::size_t d = encoded_.cols();
-  const int v = request.node;
-  const double* encoded_row = encoded_.RowPtr(static_cast<std::size_t>(v));
+  const int n = graph_->num_nodes();
+  // The query node's own encoded row: a graph row, or the freshly encoded
+  // feature-carrying query (virtual node index n).
+  const int self_col = request.has_features ? n : request.node;
+  const double* self_row =
+      request.has_features
+          ? encoded_query_row
+          : encoded_.RowPtr(static_cast<std::size_t>(request.node));
 
   std::vector<double> hop;
   bool have_hop = false;
-  std::vector<int> sanitized;
-  const std::vector<int>* neighbors = &graph_.Neighbors(v);
-  if (request.has_edges) {
-    sanitized = request.edges;
-    std::sort(sanitized.begin(), sanitized.end());
-    sanitized.erase(std::unique(sanitized.begin(), sanitized.end()),
-                    sanitized.end());
-    sanitized.erase(
-        std::remove_if(sanitized.begin(), sanitized.end(),
-                       [&](int u) {
-                         return u < 0 || u >= graph_.num_nodes() || u == v;
-                       }),
-        sanitized.end());
-    neighbors = &sanitized;
-  }
+  auto ensure_hop = [&] {
+    if (have_hop) return;
+    hop.resize(d);
+    if (!request.has_features && !request.has_edges) {
+      CachedHopRow(request.node, hop.data());
+    } else {
+      const std::vector<int> neighbors =
+          SanitizeEdges(request.edges, self_col, n);
+      RebuiltHopRow(self_col, self_row, neighbors, hop.data());
+    }
+    have_hop = true;
+  };
 
   // The offline loop computes the one-hop block once and reuses it for
   // every step m > 0 (Eq. (16) reads only the query node's own edges no
@@ -157,14 +254,10 @@ void InferenceSession::FillFeatureRow(const ServeRequest& request,
   for (std::size_t s = 0; s < artifact_->steps.size(); ++s) {
     double* block = row + s * d;
     if (artifact_->steps[s] == 0) {
-      std::copy(encoded_row, encoded_row + d, block);
+      std::copy(self_row, self_row + d, block);
       continue;
     }
-    if (!have_hop) {
-      hop.resize(d);
-      HopRow(v, *neighbors, hop.data());
-      have_hop = true;
-    }
+    ensure_hop();
     std::copy(hop.begin(), hop.end(), block);
   }
 }
@@ -181,12 +274,36 @@ Matrix InferenceSession::QueryBatch(
     }
     return out;
   }
+  // Feature-carrying queries share one coalesced encoder forward — a GEMM
+  // row's bits are independent of the batch's other rows, so this equals
+  // encoding each query alone, which equals its row in the offline forward
+  // over the augmented graph.
+  std::size_t inductive = 0;
+  for (const ServeRequest* request : batch) {
+    if (request->has_features) ++inductive;
+  }
+  Matrix encoded_queries;
+  if (inductive > 0) {
+    Matrix raw(inductive, static_cast<std::size_t>(graph_->feature_dim()));
+    std::size_t q = 0;
+    for (const ServeRequest* request : batch) {
+      if (!request->has_features) continue;
+      std::copy(request->features.begin(), request->features.end(),
+                raw.RowPtr(q++));
+    }
+    encoded_queries = artifact_->encoder.HiddenRepresentation(
+        raw, artifact_->encoder.num_layers() - 1);
+    RowL2NormalizeInPlace(&encoded_queries);
+  }
   // One coalesced feature block, one GEMM — the micro-batcher's payoff. A
   // GEMM row's bit pattern does not depend on the other rows (zero-padded
   // fringe tiles, fixed k-order), so this equals b independent queries.
   Matrix z(b, artifact_->steps.size() * encoded_.cols());
+  std::size_t q = 0;
   for (std::size_t i = 0; i < b; ++i) {
-    FillFeatureRow(*batch[i], z.RowPtr(i));
+    const double* encoded_query_row =
+        batch[i]->has_features ? encoded_queries.RowPtr(q++) : nullptr;
+    FillFeatureRow(*batch[i], encoded_query_row, z.RowPtr(i));
   }
   return MatMul(z, artifact_->theta);
 }

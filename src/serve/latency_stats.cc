@@ -91,6 +91,27 @@ LatencyStats::Snapshot LatencyStats::Summarize() const {
   return snap;
 }
 
+void LatencyStats::Add(const LatencyStats& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (n > 0) {
+      buckets_[static_cast<std::size_t>(b)].fetch_add(
+          n, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_us_.fetch_add(other.sum_us_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  const std::uint64_t other_max =
+      other.max_us_.load(std::memory_order_relaxed);
+  std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_us_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
 void LatencyStats::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -54,6 +54,12 @@ class LatencyStats {
   /// Consistent-enough view of the histogram (see header comment).
   Snapshot Summarize() const;
 
+  /// Merges `other`'s counters into this histogram (relaxed reads of
+  /// `other`, like Summarize — a mid-burst merge is a consistent-enough
+  /// approximation). Used to aggregate the per-model histograms of a
+  /// multi-model server into one process-wide view.
+  void Add(const LatencyStats& other);
+
   /// Zeroes every counter (not atomic across buckets; callers quiesce
   /// recording first — used by benches between phases).
   void Reset();

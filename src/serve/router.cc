@@ -1,0 +1,81 @@
+#include "serve/router.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace gcon {
+namespace {
+
+bool WireSafeName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 || c == '"' || c == '\\' || std::isspace(u)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ModelRouter::ModelRouter(std::vector<NamedModel> models)
+    : models_(std::move(models)) {
+  if (models_.empty()) {
+    throw std::invalid_argument("ModelRouter needs at least one model");
+  }
+  for (int i = 0; i < size(); ++i) {
+    const std::string& name = models_[static_cast<std::size_t>(i)].name;
+    if (!WireSafeName(name)) {
+      throw std::invalid_argument(
+          "model name '" + name +
+          "' is not wire-safe (must be non-empty, no quotes, backslashes, "
+          "or whitespace)");
+    }
+    if (!by_name_.emplace(name, i).second) {
+      throw std::invalid_argument("duplicate model name '" + name + "'");
+    }
+  }
+}
+
+int ModelRouter::Find(const std::string& model) const {
+  if (model.empty()) return 0;
+  const auto it = by_name_.find(model);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+int ModelRouter::Resolve(const std::string& model) const {
+  const int index = Find(model);
+  if (index < 0) {
+    throw std::invalid_argument("unknown model '" + model +
+                                "' (serving: " + NameList() + ")");
+  }
+  return index;
+}
+
+std::string ModelRouter::NameList() const {
+  std::string out;
+  for (const NamedModel& model : models_) {
+    if (!out.empty()) out += ", ";
+    out += model.name;
+  }
+  return out;
+}
+
+std::string ModelRouter::ListModelsJson() const {
+  std::ostringstream out;
+  out << "{\"models\": [";
+  for (int i = 0; i < size(); ++i) {
+    const NamedModel& model = models_[static_cast<std::size_t>(i)];
+    out << (i == 0 ? "" : ", ") << "{\"name\": \"" << model.name
+        << "\", \"nodes\": " << model.session.num_nodes()
+        << ", \"classes\": " << model.session.num_classes()
+        << ", \"features\": " << model.session.feature_dim()
+        << ", \"per_query\": "
+        << (model.session.per_query() ? "true" : "false") << "}";
+  }
+  out << "], \"default\": \"" << default_model() << "\"}";
+  return out.str();
+}
+
+}  // namespace gcon

@@ -1,0 +1,67 @@
+// Name -> InferenceSession routing for the multi-model inference server.
+//
+// A ModelRouter owns several named, immutable InferenceSessions — one per
+// published artifact the process serves — and resolves the wire protocol's
+// "model" field to one of them. Construction validates the set (non-empty,
+// unique wire-safe names); after that every method is const and lock-free,
+// so the server's submit path and admin verbs read it concurrently without
+// synchronization. The first-listed model is the default: a request that
+// names no model (every pre-multi-model client) routes there, which is
+// what makes a one-model router behave exactly like the old single-session
+// server.
+#ifndef GCON_SERVE_ROUTER_H_
+#define GCON_SERVE_ROUTER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/inference_session.h"
+
+namespace gcon {
+
+class ModelRouter {
+ public:
+  struct NamedModel {
+    std::string name;
+    InferenceSession session;
+  };
+
+  /// Throws std::invalid_argument when `models` is empty, a name repeats,
+  /// or a name is empty / contains characters the wire format cannot echo
+  /// verbatim (quotes, backslashes, whitespace, control bytes).
+  explicit ModelRouter(std::vector<NamedModel> models);
+
+  int size() const { return static_cast<int>(models_.size()); }
+  const std::string& name(int index) const { return models_[index].name; }
+  const InferenceSession& session(int index) const {
+    return models_[index].session;
+  }
+  const std::string& default_model() const { return models_.front().name; }
+
+  /// Index for `model` ("" means the default model). Throws
+  /// std::invalid_argument naming the unknown model and listing what is
+  /// being served — the message a client sees on its error line.
+  int Resolve(const std::string& model) const;
+
+  /// Index for `model`, or -1 when unknown (no throw).
+  int Find(const std::string& model) const;
+
+  /// Comma-separated model names, in registration order (error messages,
+  /// the serve banner).
+  std::string NameList() const;
+
+  /// The {"cmd": "list_models"} response: every model's name, serving
+  /// population size, class count, and whether it runs the per-query
+  /// Eq. (16) path (feature-carrying queries require it). Deterministic —
+  /// the conformance suite goldens it.
+  std::string ListModelsJson() const;
+
+ private:
+  std::vector<NamedModel> models_;
+  std::map<std::string, int> by_name_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_SERVE_ROUTER_H_

@@ -21,25 +21,44 @@
 #include "serve/wire.h"
 
 namespace gcon {
+namespace {
+
+std::vector<ModelRouter::NamedModel> SingleModel(InferenceSession session) {
+  std::vector<ModelRouter::NamedModel> models;
+  models.push_back({"default", std::move(session)});
+  return models;
+}
+
+}  // namespace
 
 InferenceServer::InferenceServer(InferenceSession session,
                                  ServeOptions options)
-    : session_(std::move(session)) {
-  // The handler runs on a batch worker: one gather + one GEMM per batch,
-  // then per-query argmax. `this->session_` is immutable after
-  // construction, so concurrent batches need no locking.
-  batcher_ = std::make_unique<MicroBatcher>(
-      options, [this](std::vector<PendingQuery*>& batch) {
-        std::vector<const ServeRequest*> requests;
-        requests.reserve(batch.size());
-        for (PendingQuery* p : batch) requests.push_back(&p->request);
-        const Matrix logits = session_.QueryBatch(requests);
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          batch[i]->response.logits = logits.RowCopy(i);
-          batch[i]->response.label =
-              static_cast<int>(RowArgMax(logits, i));
-        }
-      });
+    : InferenceServer(SingleModel(std::move(session)), options) {}
+
+InferenceServer::InferenceServer(std::vector<ModelRouter::NamedModel> models,
+                                 ServeOptions options)
+    : router_(std::move(models)) {
+  // One handler per model, all run by the batcher's shared workers: one
+  // gather + one GEMM per batch, then per-query argmax. The sessions are
+  // immutable after construction (and their addresses stable inside
+  // router_), so concurrent batches need no locking.
+  std::vector<MicroBatcher::BatchHandler> handlers;
+  handlers.reserve(static_cast<std::size_t>(router_.size()));
+  for (int m = 0; m < router_.size(); ++m) {
+    const InferenceSession* session = &router_.session(m);
+    handlers.push_back([session](std::vector<PendingQuery*>& batch) {
+      std::vector<const ServeRequest*> requests;
+      requests.reserve(batch.size());
+      for (PendingQuery* p : batch) requests.push_back(&p->request);
+      const Matrix logits = session->QueryBatch(requests);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i]->response.logits = logits.RowCopy(i);
+        batch[i]->response.label =
+            static_cast<int>(RowArgMax(logits, i));
+      }
+    });
+  }
+  batcher_ = std::make_unique<MicroBatcher>(options, std::move(handlers));
 }
 
 InferenceServer::~InferenceServer() { Stop(); }
@@ -47,8 +66,10 @@ InferenceServer::~InferenceServer() { Stop(); }
 void InferenceServer::Stop() { batcher_->Stop(); }
 
 std::future<ServeResponse> InferenceServer::QueryAsync(ServeRequest request) {
-  session_.ValidateRequest(request);
-  return batcher_->Submit(std::move(request));
+  const int model = router_.Resolve(request.model);
+  router_.session(model).ValidateRequest(request);
+  return batcher_->Submit(static_cast<std::size_t>(model),
+                          std::move(request));
 }
 
 ServeResponse InferenceServer::Query(ServeRequest request) {
@@ -56,7 +77,16 @@ ServeResponse InferenceServer::Query(ServeRequest request) {
 }
 
 LatencyStats::Snapshot InferenceServer::latency() const {
-  return batcher_->latency().Summarize();
+  if (router_.size() == 1) return batcher_->latency(0).Summarize();
+  LatencyStats merged;
+  for (int m = 0; m < router_.size(); ++m) {
+    merged.Add(batcher_->latency(static_cast<std::size_t>(m)));
+  }
+  return merged.Summarize();
+}
+
+LatencyStats::Snapshot InferenceServer::latency(int model) const {
+  return batcher_->latency(static_cast<std::size_t>(model)).Summarize();
 }
 
 std::uint64_t InferenceServer::queries_served() const {
@@ -69,20 +99,39 @@ std::uint64_t InferenceServer::batches_run() const {
 
 void InferenceServer::ResetStats() { batcher_->ResetCounters(); }
 
+namespace {
+
+void AppendCounters(std::ostream* out, std::uint64_t queries,
+                    std::uint64_t batches,
+                    const LatencyStats::Snapshot& lat) {
+  *out << "\"queries\": " << queries << ", \"batches\": " << batches
+       << ", \"mean_batch\": "
+       << (batches == 0 ? 0.0
+                        : static_cast<double>(queries) /
+                              static_cast<double>(batches))
+       << ", \"mean_us\": " << lat.mean_us << ", \"p50_us\": " << lat.p50_us
+       << ", \"p95_us\": " << lat.p95_us << ", \"p99_us\": " << lat.p99_us
+       << ", \"max_us\": " << lat.max_us;
+}
+
+}  // namespace
+
 std::string InferenceServer::StatsJson() const {
-  const std::uint64_t queries = queries_served();
-  const std::uint64_t batches = batches_run();
-  const LatencyStats::Snapshot lat = latency();
   std::ostringstream out;
   out.precision(6);
-  out << "{\"queries\": " << queries << ", \"batches\": " << batches
-      << ", \"mean_batch\": "
-      << (batches == 0 ? 0.0
-                       : static_cast<double>(queries) /
-                             static_cast<double>(batches))
-      << ", \"mean_us\": " << lat.mean_us << ", \"p50_us\": " << lat.p50_us
-      << ", \"p95_us\": " << lat.p95_us << ", \"p99_us\": " << lat.p99_us
-      << ", \"max_us\": " << lat.max_us << "}";
+  out << "{";
+  AppendCounters(&out, queries_served(), batches_run(), latency());
+  out << ", \"models\": [";
+  for (int m = 0; m < router_.size(); ++m) {
+    out << (m == 0 ? "" : ", ") << "{\"name\": \"" << router_.name(m)
+        << "\", ";
+    AppendCounters(&out,
+                   batcher_->queries_served(static_cast<std::size_t>(m)),
+                   batcher_->batches_run(static_cast<std::size_t>(m)),
+                   latency(m));
+    out << "}";
+  }
+  out << "]}";
   return out.str();
 }
 
@@ -107,7 +156,7 @@ void SendAll(int fd, const std::string& data) {
 /// Serves one connection line-by-line. Query lines are pipelined through
 /// QueryAsync (so a burst from one client coalesces into one batch);
 /// responses flush in request order at chunk boundaries and before any
-/// stats/quit/error line, preserving the ordered-wire contract.
+/// admin/quit/error line, preserving the ordered-wire contract.
 void ServeConnection(InferenceServer* server, int fd) {
   std::string buffer;
   struct InFlight {
@@ -131,6 +180,20 @@ void ServeConnection(InferenceServer* server, int fd) {
     }
   };
 
+  // A line (or partial line) past the size cap means the client lost
+  // framing — report with whatever id is recoverable, then hang up; there
+  // is no byte to resync on.
+  auto oversized = [&](const std::string& data) {
+    std::int64_t id = 0;
+    RecoverWireId(data, &id);
+    flush_pending();
+    SendAll(fd, FormatWireError(
+                    id, "oversized request line (limit " +
+                            std::to_string(kMaxWireLineBytes) + " bytes)") +
+                    "\n");
+    ::close(fd);
+  };
+
   for (;;) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) break;
@@ -141,6 +204,10 @@ void ServeConnection(InferenceServer* server, int fd) {
          eol != std::string::npos; eol = buffer.find('\n', start)) {
       const std::string line = buffer.substr(start, eol - start);
       start = eol + 1;
+      if (line.size() > kMaxWireLineBytes) {
+        oversized(line);
+        return;
+      }
       if (line.empty() ||
           line.find_first_not_of(" \t\r") == std::string::npos) {
         continue;
@@ -158,6 +225,11 @@ void ServeConnection(InferenceServer* server, int fd) {
         SendAll(fd, server->StatsJson() + "\n");
         continue;
       }
+      if (command == WireCommand::kListModels) {
+        flush_pending();
+        SendAll(fd, server->ListModelsJson() + "\n");
+        continue;
+      }
       if (command == WireCommand::kQuit) {
         flush_pending();
         ::close(fd);
@@ -172,6 +244,10 @@ void ServeConnection(InferenceServer* server, int fd) {
       }
     }
     buffer.erase(0, start);
+    if (buffer.size() > kMaxWireLineBytes) {
+      oversized(buffer);
+      return;
+    }
     flush_pending();
   }
   ::close(fd);
@@ -180,7 +256,8 @@ void ServeConnection(InferenceServer* server, int fd) {
 }  // namespace
 
 int RunTcpServer(InferenceServer* server, int port,
-                 const std::atomic<bool>* shutdown) {
+                 const std::atomic<bool>* shutdown,
+                 std::atomic<int>* bound_port) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) SocketError("cannot create socket");
   const int one = 1;
@@ -201,14 +278,18 @@ int RunTcpServer(InferenceServer* server, int port,
   }
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  const int bound_port = ntohs(addr.sin_port);
+  const int actual_port = ntohs(addr.sin_port);
 
-  std::cout << "serving on 127.0.0.1:" << bound_port << " ("
+  std::cout << "serving on 127.0.0.1:" << actual_port << " (models="
+            << server->router().NameList() << ", "
             << server->session().num_nodes() << " nodes, "
             << server->session().num_classes() << " classes, threads="
             << server->options().threads << " max_batch="
             << server->options().max_batch << " max_wait_us="
             << server->options().max_wait_us << ")" << std::endl;
+  if (bound_port != nullptr) {
+    bound_port->store(actual_port, std::memory_order_release);
+  }
 
   // Connection threads are detached and counted: a long-running server
   // must reclaim each thread's stack when its client disconnects, not

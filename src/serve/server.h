@@ -1,5 +1,6 @@
-// The inference server: an InferenceSession behind a MicroBatcher, plus
-// the TCP front end `gcon_cli serve` speaks.
+// The inference server: a ModelRouter's named InferenceSessions behind one
+// shared-worker MicroBatcher, plus the TCP front end `gcon_cli serve`
+// speaks.
 //
 // In-process use (tests, benches, embedding applications):
 //
@@ -7,11 +8,19 @@
 //   ServeResponse r = server.Query({.id=1, .node=v});   // blocking
 //   // or pipeline: auto f = server.QueryAsync(req); ... f.get();
 //
-// Every query is validated on the submitting thread (bad node -> throw at
-// the call site, not a poisoned batch), then coalesced by the batcher; the
-// batch handler gathers the propagated feature rows and runs one GEMM.
-// Responses are bitwise identical to one-at-a-time offline inference, so
-// clients cannot observe how their queries were batched.
+// Multi-model: construct with a vector of {name, session} entries — one
+// process hosts several published artifacts. The batch workers are shared
+// (ServeOptions.threads total, not per model); each model keeps its own
+// pending queue, counters, and latency histogram, and a batch never mixes
+// models. Requests route by ServeRequest.model; empty routes to the
+// first-listed (default) model, so single-model clients never change.
+//
+// Every query is validated on the submitting thread (bad node, wrong-length
+// features, unknown model -> throw at the call site, not a poisoned batch),
+// then coalesced by the batcher; the batch handler gathers the propagated
+// feature rows — encoding feature-carrying queries first — and runs one
+// GEMM. Responses are bitwise identical to one-at-a-time offline inference,
+// so clients cannot observe how their queries were batched or routed.
 //
 // The TCP front end is deliberately thin: newline-delimited wire requests
 // (serve/wire.h) on a loopback-bound listener, one thread per connection,
@@ -26,62 +35,84 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "serve/batcher.h"
 #include "serve/inference_session.h"
 #include "serve/latency_stats.h"
+#include "serve/router.h"
 
 namespace gcon {
 
 class InferenceServer {
  public:
-  /// Starts options.threads batch workers over `session`.
+  /// Single-model server: `session` becomes the router's only (default)
+  /// entry, named "default". Starts options.threads batch workers.
   InferenceServer(InferenceSession session, ServeOptions options);
+
+  /// Multi-model server: one named entry per published artifact, shared
+  /// batch workers, per-model queues/stats. Throws std::invalid_argument
+  /// on an empty set or duplicate/unsafe names (see ModelRouter).
+  InferenceServer(std::vector<ModelRouter::NamedModel> models,
+                  ServeOptions options);
+
   ~InferenceServer();
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Validates and enqueues; the future resolves when the batch holding
-  /// this query completes. Throws std::invalid_argument on a request the
-  /// session cannot serve.
+  /// Validates, routes by request.model, and enqueues; the future resolves
+  /// when the batch holding this query completes. Throws
+  /// std::invalid_argument on an unknown model or a request its session
+  /// cannot serve.
   std::future<ServeResponse> QueryAsync(ServeRequest request);
 
   /// Blocking convenience around QueryAsync.
   ServeResponse Query(ServeRequest request);
 
-  const InferenceSession& session() const { return session_; }
+  /// The default model's session (the only one for single-model servers).
+  const InferenceSession& session() const { return router_.session(0); }
+  const ModelRouter& router() const { return router_; }
   const ServeOptions& options() const { return batcher_->options(); }
 
-  /// Enqueue-to-completion latency across all completed queries.
+  /// Enqueue-to-completion latency across all completed queries of every
+  /// model (merged histograms); the indexed form reads one model's.
   LatencyStats::Snapshot latency() const;
+  LatencyStats::Snapshot latency(int model) const;
   std::uint64_t queries_served() const;
   std::uint64_t batches_run() const;
 
-  /// Drops the counters and histogram (call quiesced; see
+  /// Drops the counters and histograms of every model (call quiesced; see
   /// MicroBatcher::ResetCounters). Benches separate warm-up from the
   /// measured run with this.
   void ResetStats();
 
-  /// {"queries": ..., "batches": ..., "mean_batch": ..., percentiles...} —
-  /// the stats line the wire protocol returns for {"cmd": "stats"}.
+  /// {"queries": ..., "batches": ..., "mean_batch": ..., percentiles...,
+  /// "models": [{"name": ..., per-model counters...}, ...]} — the stats
+  /// line the wire protocol returns for {"cmd": "stats"}.
   std::string StatsJson() const;
+
+  /// The {"cmd": "list_models"} response (ModelRouter::ListModelsJson).
+  std::string ListModelsJson() const { return router_.ListModelsJson(); }
 
   /// Joins the batch workers; pending queries complete first.
   void Stop();
 
  private:
-  InferenceSession session_;
+  ModelRouter router_;
   std::unique_ptr<MicroBatcher> batcher_;
 };
 
 /// Runs the TCP front end on 127.0.0.1:`port` (port 0 picks an ephemeral
 /// port). Prints one "serving on 127.0.0.1:<port> ..." line to stdout once
-/// the socket is listening, then accepts until `shutdown` (when given)
-/// becomes true or the process dies; each connection is served line-by-line
-/// per serve/wire.h. Returns 0 on clean shutdown; throws std::runtime_error
-/// on socket setup failure (port in use, ...).
+/// the socket is listening — and publishes the bound port to *bound_port
+/// when given, so in-process callers (tests) can connect to an ephemeral
+/// port — then accepts until `shutdown` (when given) becomes true or the
+/// process dies; each connection is served line-by-line per serve/wire.h.
+/// Returns 0 on clean shutdown; throws std::runtime_error on socket setup
+/// failure (port in use, ...).
 int RunTcpServer(InferenceServer* server, int port,
-                 const std::atomic<bool>* shutdown = nullptr);
+                 const std::atomic<bool>* shutdown = nullptr,
+                 std::atomic<int>* bound_port = nullptr);
 
 }  // namespace gcon
 

@@ -1,7 +1,10 @@
 #include "serve/wire.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
@@ -71,6 +74,37 @@ class LineScanner {
     return true;
   }
 
+  /// JSON number: optional sign, digits, optional fraction/exponent. The
+  /// token is cut at the first character no number can contain and handed
+  /// to strtod, so "1e" or "." fail instead of half-parsing.
+  bool ReadDouble(double* out) {
+    SkipWs();
+    const std::size_t start = pos_;
+    while (pos_ < line_.size()) {
+      const char c = line_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.' || c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return false;
+    const std::string token = line_.substr(start, pos_ - start);
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    // ERANGE alone is not a defect: strtod sets it for *underflow* too
+    // (1e-310 parses to the correct subnormal), and such values are valid
+    // features. Only overflow — a magnitude no double can hold — rejects.
+    if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+      return false;
+    }
+    *out = value;
+    return true;
+  }
+
  private:
   const std::string& line_;
   std::size_t pos_ = 0;
@@ -92,12 +126,8 @@ std::string EscapeJson(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-bool ParseWireRequest(const std::string& line, WireCommand* command,
+bool ParseRequestBody(const std::string& line, WireCommand* command,
                       ServeRequest* request, std::string* error) {
-  *command = WireCommand::kQuery;
-  *request = ServeRequest{};
   LineScanner scan(line);
   if (!scan.Consume('{')) {
     *error = "request must be a {...} object";
@@ -127,10 +157,17 @@ bool ParseWireRequest(const std::string& line, WireCommand* command,
           *error = "key 'node' wants an integer";
           return false;
         }
+        // Negative ids are rejected here, not downstream: -1 is the
+        // struct's "no node" sentinel, so letting it through would make
+        // {"node": -1, "features": [...]} indistinguishable from a pure
+        // feature query and dodge the either/or validation.
+        if (node < 0) {
+          *error = "key 'node' wants a non-negative integer";
+          return false;
+        }
         // Reject instead of narrowing: a wrapped id could land inside
         // [0, n) and silently serve the wrong node.
-        if (node < std::numeric_limits<int>::min() ||
-            node > std::numeric_limits<int>::max()) {
+        if (node > std::numeric_limits<int>::max()) {
           *error = "key 'node' out of range";
           return false;
         }
@@ -162,6 +199,32 @@ bool ParseWireRequest(const std::string& line, WireCommand* command,
           *error = "unterminated 'edges' array";
           return false;
         }
+      } else if (key == "features") {
+        if (!scan.Consume('[')) {
+          *error = "key 'features' wants an array of numbers";
+          return false;
+        }
+        request->has_features = true;
+        request->features.clear();
+        if (!scan.Peek(']')) {
+          do {
+            double value = 0.0;
+            if (!scan.ReadDouble(&value)) {
+              *error = "key 'features' wants numbers";
+              return false;
+            }
+            request->features.push_back(value);
+          } while (scan.Consume(','));
+        }
+        if (!scan.Consume(']')) {
+          *error = "unterminated 'features' array";
+          return false;
+        }
+      } else if (key == "model") {
+        if (!scan.ReadString(&request->model)) {
+          *error = "key 'model' wants a quoted string";
+          return false;
+        }
       } else if (key == "cmd") {
         if (!scan.ReadString(&cmd)) {
           *error = "key 'cmd' wants a quoted string";
@@ -169,7 +232,7 @@ bool ParseWireRequest(const std::string& line, WireCommand* command,
         }
       } else {
         *error = "unknown key '" + key +
-                 "' (want id, node, edges, or cmd)";
+                 "' (want id, node, edges, features, model, or cmd)";
         return false;
       }
     } while (scan.Consume(','));
@@ -184,18 +247,58 @@ bool ParseWireRequest(const std::string& line, WireCommand* command,
       *command = WireCommand::kStats;
       return true;
     }
+    if (cmd == "list_models") {
+      *command = WireCommand::kListModels;
+      return true;
+    }
     if (cmd == "quit") {
       *command = WireCommand::kQuit;
       return true;
     }
-    *error = "unknown cmd '" + cmd + "' (want stats or quit)";
+    *error = "unknown cmd '" + cmd + "' (want stats, list_models, or quit)";
     return false;
   }
-  if (!have_node) {
-    *error = "query needs a 'node' key";
+  if (!have_node && !request->has_features) {
+    *error = "query needs a 'node' or 'features' key";
     return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool RecoverWireId(const std::string& line, std::int64_t* id) {
+  // Find a quoted "id" key anywhere and parse the integer after its colon.
+  // This runs only on lines the real parser rejected, so it tolerates any
+  // surrounding garbage — the goal is correlation, not validation.
+  for (std::size_t at = line.find("\"id\""); at != std::string::npos;
+       at = line.find("\"id\"", at + 1)) {
+    std::size_t pos = at + 4;
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    if (pos >= line.size() || line[pos] != ':') continue;
+    ++pos;
+    const std::string tail = line.substr(pos);  // LineScanner holds a ref
+    LineScanner scan(tail);
+    if (scan.ReadInt(id)) return true;
+  }
+  return false;
+}
+
+bool ParseWireRequest(const std::string& line, WireCommand* command,
+                      ServeRequest* request, std::string* error) {
+  *command = WireCommand::kQuery;
+  *request = ServeRequest{};
+  if (ParseRequestBody(line, command, request, error)) return true;
+  // The defect may precede the "id" key, in which case the in-order parse
+  // never reached it; re-scan so the error line still correlates.
+  std::int64_t recovered = 0;
+  if (request->id == 0 && RecoverWireId(line, &recovered)) {
+    request->id = recovered;
+  }
+  return false;
 }
 
 std::string FormatWireResponse(const ServeResponse& response) {

@@ -5,40 +5,70 @@
 //
 //   -> {"id": 7, "node": 12}
 //   -> {"id": 8, "node": 3, "edges": [1, 5, 9]}
+//   -> {"id": 9, "model": "alt", "node": 4}
+//   -> {"id": 10, "features": [0.5, 0.0, ...], "edges": [1, 5]}
 //   <- {"id": 7, "node": 12, "label": 2, "logits": [0.1, ...]}
 //   <- {"id": 8, "node": 3, "label": 0, "logits": [...]}
+//   <- ...
 //   -> {"cmd": "stats"}
-//   <- {"queries": 2, "batches": 1, "p50_us": ..., ...}
+//   <- {"queries": 4, "batches": 2, ..., "models": [...]}
+//   -> {"cmd": "list_models"}
+//   <- {"models": [{"name": "default", ...}], "default": "default"}
+//
+// A "features" query is the inductive scenario: the line carries an unseen
+// node's raw feature vector (length = the serving graph's feature dim) and
+// optionally its edges into the serving population; "node" must be absent.
+// "model" routes the query to a named artifact (multi-model serving);
+// absent means the default (first-listed) model.
 //
 // A request the server cannot parse or serve yields an error line carrying
-// whatever id was recovered: {"id": 7, "error": "..."}.
+// whatever id was recovered: {"id": 7, "error": "..."}. Recovery is
+// best-effort but deliberate: even when the defect precedes the "id" key,
+// the parser re-scans the raw line for one so pipelined clients can
+// correlate the failure (see RecoverWireId).
 //
 // The parser is a hand-rolled scanner for exactly this shape — unquoted
 // whitespace is ignored, unknown keys are rejected (same typo discipline as
 // ModelConfig), nesting is not supported. It exists so clients can be
-// written in two lines of any language, not to be a JSON library.
+// written in two lines of any language, not to be a JSON library. Lines
+// longer than kMaxWireLineBytes are rejected and the connection closed (a
+// stream that long has lost framing; there is nothing to resync on).
 #ifndef GCON_SERVE_WIRE_H_
 #define GCON_SERVE_WIRE_H_
 
+#include <cstddef>
 #include <string>
 
 #include "serve/inference_session.h"
 
 namespace gcon {
 
+/// Hard cap on one wire line (request or response). Large enough for a
+/// feature-carrying query over any of the bundled datasets (PubMed's 500
+/// features at 17 significant digits is ~13 KB), small enough that a
+/// client that lost framing cannot pin server memory.
+inline constexpr std::size_t kMaxWireLineBytes = 1u << 20;
+
 /// Commands a wire line can carry besides a query.
 enum class WireCommand {
-  kQuery,  ///< a ServeRequest (the common case)
-  kStats,  ///< {"cmd": "stats"} — server counters + latency percentiles
-  kQuit,   ///< {"cmd": "quit"} — close this connection
+  kQuery,       ///< a ServeRequest (the common case)
+  kStats,       ///< {"cmd": "stats"} — counters + latency percentiles
+  kListModels,  ///< {"cmd": "list_models"} — served models + metadata
+  kQuit,        ///< {"cmd": "quit"} — close this connection
 };
 
 /// Parses one request line. Returns false and fills *error on malformed
-/// input (*request keeps any id recovered before the failure, so the error
-/// response can echo it). On success *command says what the line was; for
-/// kQuery, *request is fully populated.
+/// input (*request carries any id recoverable from the line — even one
+/// past the defect — so the error response can echo it). On success
+/// *command says what the line was; for kQuery, *request is fully
+/// populated.
 bool ParseWireRequest(const std::string& line, WireCommand* command,
                       ServeRequest* request, std::string* error);
+
+/// Best-effort scan of a (possibly malformed) line for an `"id": <int>`
+/// pair. Returns true and fills *id when one is found. Used to correlate
+/// error responses for lines the full parser rejected.
+bool RecoverWireId(const std::string& line, std::int64_t* id);
 
 /// Response line (17 significant digits, enough to round-trip doubles).
 std::string FormatWireResponse(const ServeResponse& response);

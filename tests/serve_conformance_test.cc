@@ -1,0 +1,390 @@
+// Wire-protocol conformance: golden newline-JSON request/response
+// transcripts replayed against the real TCP front end, byte-compared
+// (memcmp via std::string ==) so the wire format can never drift silently.
+// Covers the valid single-model/multi-model/inductive paths, unknown-model,
+// malformed-JSON (including id recovery when the defect precedes the id
+// key), feature-length-mismatch, oversized lines, the admin verbs, and
+// response-format locks on exactly-representable doubles.
+//
+// On a transcript mismatch the test appends a "request / golden / actual"
+// block to serve_conformance_failure.txt in the working directory — CI
+// uploads it so a drift is diagnosable from the artifact alone.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <optional>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_io.h"
+#include "graph/datasets.h"
+#include "linalg/ops.h"
+#include "nn/mlp.h"
+#include "rng/rng.h"
+#include "serve_test_util.h"
+#include "serve/inference_session.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace gcon {
+namespace {
+
+constexpr const char* kFailureLog = "serve_conformance_failure.txt";
+
+using serve_test::AugmentGraph;
+using serve_test::SyntheticArtifact;
+
+/// Blocking line-oriented client over a raw socket — the two-lines-of-any-
+/// language client the wire format promises, in test form.
+class WireClient {
+ public:
+  explicit WireClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    GCON_ASSERT_OK(fd_ >= 0, "socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    GCON_ASSERT_OK(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) == 0,
+                   "connect");
+  }
+  ~WireClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << "send failed";
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+  void SendLine(const std::string& line) { Send(line + "\n"); }
+
+  /// Next response line (without the newline); "" on EOF.
+  std::string ReadLine() {
+    for (;;) {
+      const std::size_t eol = buffer_.find('\n');
+      if (eol != std::string::npos) {
+        const std::string line = buffer_.substr(0, eol);
+        buffer_.erase(0, eol + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool AtEof() {
+    if (!buffer_.empty()) return false;
+    char byte;
+    return ::recv(fd_, &byte, 1, 0) <= 0;
+  }
+
+ private:
+  static void GCON_ASSERT_OK(bool ok, const char* what) {
+    if (!ok) {
+      FAIL() << what << ": " << std::strerror(errno);
+    }
+  }
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One golden exchange: the request line and the exact expected response.
+struct GoldenCase {
+  std::string name;
+  std::string request;
+  std::string expected;
+};
+
+void RecordMismatch(const GoldenCase& c, const std::string& actual) {
+  std::ofstream log(kFailureLog, std::ios::app);
+  log << "case:    " << c.name << "\nrequest: " << c.request
+      << "\ngolden:  " << c.expected << "\nactual:  " << actual << "\n\n";
+}
+
+void ReplayGoldens(WireClient* client, const std::vector<GoldenCase>& cases) {
+  for (const GoldenCase& c : cases) {
+    client->SendLine(c.request);
+    const std::string actual = client->ReadLine();
+    if (actual != c.expected) RecordMismatch(c, actual);
+    EXPECT_EQ(actual, c.expected) << c.name << " (diff appended to "
+                                  << kFailureLog << ")";
+  }
+}
+
+/// The expected wire line for a query answered by row `row` of `logits`.
+std::string GoldenResponse(std::int64_t id, int node, const Matrix& logits,
+                           std::size_t row) {
+  ServeResponse response;
+  response.id = id;
+  response.node = node;
+  response.label = static_cast<int>(RowArgMax(logits, row));
+  response.logits = logits.RowCopy(row);
+  return FormatWireResponse(response);
+}
+
+/// Server fixture: two synthetic models ("default", "alt") over the tiny
+/// graph behind the real TCP front end on an ephemeral port.
+class ServeConformanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = serve_test::TestGraph(9);
+    default_artifact_ = SyntheticArtifact(graph_, {0, 2}, 8, 3);
+    alt_artifact_ = SyntheticArtifact(graph_, {2}, 8, 101);
+    offline_default_ = default_artifact_->Infer(graph_);
+    offline_alt_ = alt_artifact_->Infer(graph_);
+
+    std::vector<ModelRouter::NamedModel> models;
+    models.push_back({"default", InferenceSession(*default_artifact_, graph_)});
+    models.push_back({"alt", InferenceSession(*alt_artifact_, graph_)});
+    ServeOptions options;
+    options.threads = 2;
+    options.max_batch = 8;
+    server_ = std::make_unique<InferenceServer>(std::move(models), options);
+    listener_ = std::thread([this] {
+      RunTcpServer(server_.get(), /*port=*/0, &shutdown_, &port_);
+    });
+    while (port_.load(std::memory_order_acquire) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  void TearDown() override {
+    shutdown_.store(true, std::memory_order_release);
+    listener_.join();
+    server_.reset();
+  }
+
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  Graph graph_;
+  std::optional<GconArtifact> default_artifact_;
+  std::optional<GconArtifact> alt_artifact_;
+  Matrix offline_default_;
+  Matrix offline_alt_;
+  std::unique_ptr<InferenceServer> server_;
+  std::thread listener_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> port_{0};
+};
+
+// --- Response-format locks (pure, no server) -------------------------------
+
+TEST(WireFormatLock, ResponseLineIsByteStable) {
+  // Exactly-representable doubles print without rounding, so this literal
+  // is the wire format — a byte of drift (key order, spacing, precision
+  // policy) fails the memcmp.
+  ServeResponse response;
+  response.id = 3;
+  response.node = 1;
+  response.label = 0;
+  response.logits = {0.5, -0.25, 2};
+  EXPECT_EQ(FormatWireResponse(response),
+            "{\"id\": 3, \"node\": 1, \"label\": 0, "
+            "\"logits\": [0.5, -0.25, 2]}");
+}
+
+TEST(WireFormatLock, ErrorLineIsByteStableAndEscaped) {
+  EXPECT_EQ(FormatWireError(7, "bad \"key\" with \\ and\nnewline"),
+            "{\"id\": 7, \"error\": \"bad \\\"key\\\" with \\\\ and "
+            "newline\"}");
+}
+
+// --- Golden transcripts over TCP -------------------------------------------
+
+TEST_F(ServeConformanceTest, ValidQueriesMatchOfflineGoldens) {
+  WireClient client(port());
+  std::vector<GoldenCase> cases;
+  cases.push_back({"default-model node query", "{\"id\": 1, \"node\": 12}",
+                   GoldenResponse(1, 12, offline_default_, 12)});
+  cases.push_back({"explicit default route",
+                   "{\"id\": 2, \"model\": \"default\", \"node\": 12}",
+                   GoldenResponse(2, 12, offline_default_, 12)});
+  cases.push_back({"routed to alt model",
+                   "{\"id\": 3, \"model\": \"alt\", \"node\": 12}",
+                   GoldenResponse(3, 12, offline_alt_, 12)});
+  cases.push_back({"private edge list ignored junk",
+                   "{\"id\": 4, \"node\": 0, \"edges\": []}",
+                   [&] {
+                     ServeRequest request;
+                     request.id = 4;
+                     request.node = 0;
+                     request.has_edges = true;
+                     const InferenceSession session(*default_artifact_,
+                                                    graph_);
+                     ServeResponse response;
+                     response.id = 4;
+                     response.node = 0;
+                     response.logits = session.QueryLogits(request);
+                     Matrix one(1, response.logits.size());
+                     std::copy(response.logits.begin(),
+                               response.logits.end(), one.RowPtr(0));
+                     response.label = static_cast<int>(RowArgMax(one, 0));
+                     return FormatWireResponse(response);
+                   }()});
+  ReplayGoldens(&client, cases);
+}
+
+TEST_F(ServeConformanceTest, InductiveQueryMatchesAugmentedOfflineGolden) {
+  // The feature vector is written with exactly-representable values so the
+  // request line itself is byte-stable too.
+  const int d0 = graph_.feature_dim();
+  std::vector<double> features(static_cast<std::size_t>(d0), 0.0);
+  features[0] = 0.5;
+  features[1] = 1.0;
+  features[2] = 0.25;
+  std::ostringstream request;
+  request << "{\"id\": 21, \"features\": [";
+  for (int j = 0; j < d0; ++j) {
+    request << (j == 0 ? "" : ", ") << features[static_cast<std::size_t>(j)];
+  }
+  request << "], \"edges\": [0, 5]}";
+
+  // Offline side: the shared augmentation helper appends the query node
+  // at index n — the same construction every serving suite compares
+  // against.
+  const int n = graph_.num_nodes();
+  const Matrix offline =
+      default_artifact_->Infer(AugmentGraph(graph_, features, {0, 5}));
+
+  ServeResponse expected;
+  expected.id = 21;
+  expected.node = -1;
+  expected.label = static_cast<int>(
+      RowArgMax(offline, static_cast<std::size_t>(n)));
+  expected.logits = offline.RowCopy(static_cast<std::size_t>(n));
+
+  WireClient client(port());
+  ReplayGoldens(&client, {{"inductive feature-carrying query", request.str(),
+                           FormatWireResponse(expected)}});
+}
+
+TEST_F(ServeConformanceTest, ErrorGoldensIncludingRecoveredIds) {
+  WireClient client(port());
+  std::vector<GoldenCase> cases;
+  cases.push_back({"unknown model",
+                   "{\"id\": 5, \"model\": \"nope\", \"node\": 1}",
+                   "{\"id\": 5, \"error\": \"unknown model 'nope' "
+                   "(serving: default, alt)\"}"});
+  cases.push_back({"unknown key", "{\"id\": 9, \"nodes\": 1}",
+                   "{\"id\": 9, \"error\": \"unknown key 'nodes' (want id, "
+                   "node, edges, features, model, or cmd)\"}"});
+  // Regression (the id used to be dropped): the defect precedes the "id"
+  // key, but the error line must still echo id 12 so a pipelined client
+  // can correlate the failure.
+  cases.push_back({"id recovered past the defect",
+                   "{\"nodes\": 1, \"id\": 12}",
+                   "{\"id\": 12, \"error\": \"unknown key 'nodes' (want id, "
+                   "node, edges, features, model, or cmd)\"}"});
+  cases.push_back({"not an object", "predict 5",
+                   "{\"id\": 0, \"error\": \"request must be a {...} "
+                   "object\"}"});
+  cases.push_back({"empty object", "{}",
+                   "{\"id\": 0, \"error\": \"query needs a 'node' or "
+                   "'features' key\"}"});
+  cases.push_back({"trailing garbage", "{\"id\": 2, \"node\": 1} trailing",
+                   "{\"id\": 2, \"error\": \"trailing garbage after the "
+                   "request object\"}"});
+  cases.push_back({"feature length mismatch",
+                   "{\"id\": 4, \"features\": [1, 2, 3]}",
+                   "{\"id\": 4, \"error\": \"query features have 3 values "
+                   "but the encoder expects " +
+                       std::to_string(graph_.feature_dim()) + "\"}"});
+  cases.push_back({"node out of range", "{\"id\": 6, \"node\": 99999}",
+                   "{\"id\": 6, \"error\": \"node 99999 out of range [0, " +
+                       std::to_string(graph_.num_nodes()) + ")\"}"});
+  // -1 is the "no node" sentinel; letting a negative through would make
+  // {"node": -1, "features": [...]} dodge the either/or validation, so
+  // the parser rejects it outright.
+  cases.push_back({"negative node rejected at parse",
+                   "{\"id\": 7, \"node\": -1, \"features\": [1]}",
+                   "{\"id\": 7, \"error\": \"key 'node' wants a "
+                   "non-negative integer\"}"});
+  cases.push_back({"node and features together",
+                   "{\"id\": 8, \"node\": 1, \"features\": [1]}",
+                   "{\"id\": 8, \"error\": \"a query carries either 'node' "
+                   "or 'features', not both\"}"});
+  cases.push_back({"unknown cmd", "{\"id\": 3, \"cmd\": \"reboot\"}",
+                   "{\"id\": 3, \"error\": \"unknown cmd 'reboot' (want "
+                   "stats, list_models, or quit)\"}"});
+  ReplayGoldens(&client, cases);
+}
+
+TEST_F(ServeConformanceTest, AdminVerbGoldens) {
+  WireClient client(port());
+  std::ostringstream list_models;
+  list_models << "{\"models\": [{\"name\": \"default\", \"nodes\": "
+              << graph_.num_nodes() << ", \"classes\": "
+              << graph_.num_classes() << ", \"features\": "
+              << graph_.feature_dim()
+              << ", \"per_query\": true}, {\"name\": \"alt\", \"nodes\": "
+              << graph_.num_nodes() << ", \"classes\": "
+              << graph_.num_classes() << ", \"features\": "
+              << graph_.feature_dim()
+              << ", \"per_query\": true}], \"default\": \"default\"}";
+  ReplayGoldens(&client, {{"list_models", "{\"cmd\": \"list_models\"}",
+                           list_models.str()}});
+
+  // Stats carries timings — not goldenable byte-for-byte, but its shape is
+  // locked: aggregate counters first, then the per-model array.
+  client.SendLine("{\"id\": 1, \"node\": 0}");
+  client.ReadLine();
+  client.SendLine("{\"cmd\": \"stats\"}");
+  const std::string stats = client.ReadLine();
+  EXPECT_EQ(stats.rfind("{\"queries\": ", 0), 0u) << stats;
+  EXPECT_NE(stats.find("\"models\": [{\"name\": \"default\", "),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("{\"name\": \"alt\", "), std::string::npos) << stats;
+}
+
+TEST_F(ServeConformanceTest, PipelinedErrorFlushesAfterEarlierResponses) {
+  // A malformed line pipelined behind a valid query must not jump the
+  // queue: the valid response flushes first, then the error line.
+  WireClient client(port());
+  client.Send("{\"id\": 40, \"node\": 7}\n{\"id\": 41, \"nodes\": 7}\n");
+  EXPECT_EQ(client.ReadLine(), GoldenResponse(40, 7, offline_default_, 7));
+  EXPECT_EQ(client.ReadLine(),
+            "{\"id\": 41, \"error\": \"unknown key 'nodes' (want id, node, "
+            "edges, features, model, or cmd)\"}");
+}
+
+TEST_F(ServeConformanceTest, OversizedLineGetsErrorAndDisconnect) {
+  WireClient client(port());
+  // An id early in the line is recoverable even though the line never
+  // completes; the server reports the cap and hangs up.
+  std::string huge = "{\"id\": 77, \"features\": [";
+  huge.append(kMaxWireLineBytes + 1024, '1');
+  client.Send(huge);  // no newline — the cap must trip on the partial line
+  EXPECT_EQ(client.ReadLine(),
+            "{\"id\": 77, \"error\": \"oversized request line (limit " +
+                std::to_string(kMaxWireLineBytes) + " bytes)\"}");
+  EXPECT_TRUE(client.AtEof());
+}
+
+TEST_F(ServeConformanceTest, QuitClosesTheConnection) {
+  WireClient client(port());
+  client.SendLine("{\"id\": 1, \"node\": 0}");
+  EXPECT_EQ(client.ReadLine(), GoldenResponse(1, 0, offline_default_, 0));
+  client.SendLine("{\"cmd\": \"quit\"}");
+  EXPECT_TRUE(client.AtEof());
+}
+
+}  // namespace
+}  // namespace gcon

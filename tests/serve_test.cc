@@ -1,6 +1,7 @@
 // Serving subsystem: bitwise identity of served vs offline inference
-// (single, batched, under concurrent clients), the micro-batcher's
-// lifecycle, the wire format, option validation, the latency histogram,
+// (single, batched, under concurrent clients), multi-model routing over
+// the shared-worker batcher, the micro-batcher's lifecycle (single- and
+// multi-queue), the wire format, option validation, the latency histogram,
 // and malformed-artifact error reporting.
 #include <gtest/gtest.h>
 
@@ -20,6 +21,7 @@
 #include "model/adapters.h"
 #include "nn/mlp.h"
 #include "rng/rng.h"
+#include "serve_test_util.h"
 #include "serve/batcher.h"
 #include "serve/inference_session.h"
 #include "serve/latency_stats.h"
@@ -29,38 +31,9 @@
 namespace gcon {
 namespace {
 
-bool BitwiseEqualRow(const Matrix& m, std::size_t row,
-                     const std::vector<double>& values) {
-  if (values.size() != m.cols()) return false;
-  return std::memcmp(m.RowPtr(row), values.data(),
-                     m.cols() * sizeof(double)) == 0;
-}
-
-/// A serving-shaped artifact without the training cost: fresh Glorot
-/// encoder, random theta. The serving layer never looks at model quality,
-/// only at the numerics of the inference path.
-GconArtifact SyntheticArtifact(const Graph& graph, std::vector<int> steps,
-                               int d1, std::uint64_t seed) {
-  MlpOptions options;
-  options.dims = {graph.feature_dim(), 16, d1, graph.num_classes()};
-  options.seed = seed;
-  Mlp encoder(options);
-  Matrix theta(steps.size() * static_cast<std::size_t>(d1),
-               static_cast<std::size_t>(graph.num_classes()));
-  Rng rng(seed + 1);
-  for (std::size_t k = 0; k < theta.size(); ++k) {
-    theta.data()[k] = rng.Uniform(-0.5, 0.5);
-  }
-  return GconArtifact{std::move(theta), std::move(encoder), std::move(steps),
-                      /*alpha=*/0.7,    /*alpha_inference=*/-1.0,
-                      /*epsilon=*/1.0,  /*delta=*/1e-5,
-                      PrivacyParams{}};
-}
-
-Graph TestGraph(std::uint64_t seed = 9) {
-  Rng rng(seed);
-  return GenerateDataset(TinySpec(), &rng);
-}
+using serve_test::BitwiseEqualRow;
+using serve_test::SyntheticArtifact;
+using serve_test::TestGraph;
 
 // --- InferenceSession: the bitwise contract --------------------------------
 
@@ -301,6 +274,156 @@ TEST(MicroBatcher, StopDrainsAndRejectsLateSubmissions) {
   ServeRequest late;
   late.node = 0;
   EXPECT_THROW(batcher.Submit(late), std::runtime_error);
+}
+
+// --- Multi-model routing ---------------------------------------------------
+
+TEST(ModelRouter, ResolvesNamesAndRejectsBadSets) {
+  const Graph graph = TestGraph();
+  auto make = [&](std::vector<std::pair<std::string, std::uint64_t>> specs) {
+    std::vector<ModelRouter::NamedModel> models;
+    for (const auto& [name, seed] : specs) {
+      models.push_back(
+          {name, InferenceSession(SyntheticArtifact(graph, {2}, 8, seed),
+                                  graph)});
+    }
+    return models;
+  };
+  const ModelRouter router(make({{"a", 1}, {"b", 2}}));
+  EXPECT_EQ(router.size(), 2);
+  EXPECT_EQ(router.Resolve(""), 0);  // default = first-listed
+  EXPECT_EQ(router.Resolve("a"), 0);
+  EXPECT_EQ(router.Resolve("b"), 1);
+  EXPECT_EQ(router.Find("zzz"), -1);
+  EXPECT_EQ(router.default_model(), "a");
+  EXPECT_EQ(router.NameList(), "a, b");
+  try {
+    router.Resolve("zzz");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("zzz"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("a, b"), std::string::npos);
+  }
+
+  EXPECT_THROW(ModelRouter({}), std::invalid_argument);
+  EXPECT_THROW(ModelRouter(make({{"a", 1}, {"a", 2}})),
+               std::invalid_argument);
+  EXPECT_THROW(ModelRouter(make({{"", 1}})), std::invalid_argument);
+  EXPECT_THROW(ModelRouter(make({{"bad name", 1}})), std::invalid_argument);
+  EXPECT_THROW(ModelRouter(make({{"bad\"quote", 1}})),
+               std::invalid_argument);
+}
+
+TEST(InferenceServer, RoutesQueriesToNamedModelsBitwise) {
+  // Two different artifacts served from one process; every response must be
+  // bitwise identical to ITS model's offline inference — a routing slip
+  // would surface as the other model's (different) bits.
+  const Graph graph = TestGraph();
+  const GconArtifact artifact_a = SyntheticArtifact(graph, {0, 2}, 8, 51);
+  const GconArtifact artifact_b = SyntheticArtifact(graph, {2}, 8, 151);
+  const Matrix offline_a = artifact_a.Infer(graph);
+  const Matrix offline_b = artifact_b.Infer(graph);
+
+  std::vector<ModelRouter::NamedModel> models;
+  models.push_back({"a", InferenceSession(artifact_a, graph)});
+  models.push_back({"b", InferenceSession(artifact_b, graph)});
+  ServeOptions options;
+  options.threads = 2;
+  options.max_batch = 8;
+  InferenceServer server(std::move(models), options);
+
+  const int kClients = 4;
+  const int kRounds = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRounds; ++r) {
+        const int v = (c * 29 + r * 5) % graph.num_nodes();
+        ServeRequest request;
+        request.id = c * 1000 + r;
+        request.node = v;
+        const bool use_b = (c + r) % 2 == 1;
+        request.model = use_b ? "b" : "a";
+        const ServeResponse response = server.Query(request);
+        const Matrix& offline = use_b ? offline_b : offline_a;
+        if (!BitwiseEqualRow(offline, static_cast<std::size_t>(v),
+                             response.logits)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.queries_served(),
+            static_cast<std::uint64_t>(kClients * kRounds));
+  // Aggregate latency merges both models' histograms.
+  EXPECT_EQ(server.latency().count,
+            static_cast<std::uint64_t>(kClients * kRounds));
+  EXPECT_EQ(server.latency(0).count + server.latency(1).count,
+            server.latency().count);
+
+  // Unknown model: rejected at submit with the serving list, not queued.
+  ServeRequest unknown;
+  unknown.node = 0;
+  unknown.model = "zzz";
+  EXPECT_THROW(server.Query(unknown), std::invalid_argument);
+
+  // Per-model breakdown appears in the stats line.
+  const std::string stats = server.StatsJson();
+  EXPECT_NE(stats.find("\"models\": [{\"name\": \"a\", "), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("{\"name\": \"b\", "), std::string::npos) << stats;
+}
+
+TEST(InferenceServer, EmptyModelFieldRoutesToDefault) {
+  const Graph graph = TestGraph();
+  const GconArtifact artifact_a = SyntheticArtifact(graph, {2}, 8, 61);
+  const GconArtifact artifact_b = SyntheticArtifact(graph, {2}, 8, 161);
+  const Matrix offline_a = artifact_a.Infer(graph);
+  std::vector<ModelRouter::NamedModel> models;
+  models.push_back({"first", InferenceSession(artifact_a, graph)});
+  models.push_back({"second", InferenceSession(artifact_b, graph)});
+  InferenceServer server(std::move(models), ServeOptions{});
+  ServeRequest request;
+  request.node = 5;  // no model named: the first-listed one answers
+  EXPECT_TRUE(BitwiseEqualRow(offline_a, 5, server.Query(request).logits));
+}
+
+TEST(MicroBatcher, MultiQueueSharesWorkersAndKeepsPerQueueCounters) {
+  ServeOptions options;
+  options.threads = 2;
+  options.max_batch = 4;
+  // Queue handlers stamp which queue ran the batch; a cross-queue batch
+  // would mislabel every query in it.
+  std::vector<MicroBatcher::BatchHandler> handlers;
+  for (int q = 0; q < 3; ++q) {
+    handlers.push_back([q](std::vector<PendingQuery*>& batch) {
+      for (PendingQuery* p : batch) p->response.label = q;
+    });
+  }
+  MicroBatcher batcher(options, std::move(handlers));
+  ASSERT_EQ(batcher.num_queues(), 3u);
+  std::vector<std::pair<std::size_t, std::future<ServeResponse>>> futures;
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t queue = static_cast<std::size_t>(i % 3);
+    ServeRequest request;
+    request.node = i;
+    futures.emplace_back(queue, batcher.Submit(queue, request));
+  }
+  for (auto& [queue, future] : futures) {
+    EXPECT_EQ(future.get().label, static_cast<int>(queue));
+  }
+  EXPECT_EQ(batcher.queries_served(), 60u);
+  EXPECT_EQ(batcher.queries_served(0), 20u);
+  EXPECT_EQ(batcher.queries_served(1), 20u);
+  EXPECT_EQ(batcher.queries_served(2), 20u);
+  EXPECT_EQ(batcher.batches_run(),
+            batcher.batches_run(0) + batcher.batches_run(1) +
+                batcher.batches_run(2));
+  EXPECT_EQ(batcher.latency(0).Summarize().count, 20u);
+  batcher.Stop();
 }
 
 // --- Wire format -----------------------------------------------------------

@@ -1,15 +1,19 @@
 #!/usr/bin/env sh
 # Measures the inference serving tier: runs bench_serve (closed-loop
-# pipelined clients against the in-process InferenceServer) in both modes —
-# max_batch=1 (micro-batching off) and the configured max_batch — and
-# captures its JSON line:
+# pipelined clients against the in-process InferenceServer) in four modes —
+# max_batch=1 (micro-batching off), the configured max_batch, 2-model
+# routing (clients alternate the wire "model" field), and inductive
+# feature-carrying queries — and captures its JSON line:
 #
 #   {"workload": "serve cora_ml", ..., "single": {"qps": ...},
-#    "batched": {"qps": ..., "mean_batch": ...}, "speedup": ...}
+#    "batched": {"qps": ..., "mean_batch": ...}, "routed": {...},
+#    "inductive": {...}, "speedup": ..., "routing_cost": ...}
 #
 # OMP_NUM_THREADS is pinned to 1 so the GEMM's OpenMP loops cannot occupy
-# the cores the client threads need; the ratio isolates the batching
-# engine, not the kernel parallelism. The CI gate asserts speedup >= 2x.
+# the cores the client threads need; the ratios isolate the batching and
+# routing engines, not the kernel parallelism. The CI gates assert
+# speedup >= 2x and routing_cost >= 0.9 (multi-model routing may cost
+# < 10% QPS vs single-model).
 #
 # Usage: bench_serve_json.sh <path-to-bench_serve> [output.json]
 # GCON_SERVE_BENCH_QUERIES overrides the per-mode query count (default

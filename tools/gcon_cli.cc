@@ -22,13 +22,19 @@
 //            Loads an artifact, runs Eq. (16) private inference on the
 //            graph, and prints per-node argmax predictions (with micro-F1
 //            against the stored labels when --labels is given).
-//   serve    --graph=in.graph --model=in.model [--port=7070] [--threads=1]
-//            [--max_batch=32] [--max_wait_us=200]
-//            Loads the artifact once and serves node-prediction queries
+//   serve    --graph=in.graph --model=in.model [--model name=path]...
+//            [--port=7070] [--threads=1] [--max_batch=32] [--max_wait_us=200]
+//            Loads each artifact once and serves node-prediction queries
 //            over TCP (127.0.0.1, newline-delimited requests; see
-//            serve/wire.h) through the micro-batching engine. Responses
-//            are bitwise identical to `predict` on the same graph. Runs
-//            until killed; --port=0 picks an ephemeral port (printed).
+//            serve/wire.h) through the shared micro-batching engine.
+//            --model is repeatable: "name=path" serves the artifact under
+//            that name (requests route via the wire "model" key; the
+//            first-listed model is the default), a bare path is shorthand
+//            for "default=path". Queries may carry an unseen node's raw
+//            feature vector ("features") for inductive serving. Responses
+//            are bitwise identical to `predict` on the same (augmented)
+//            graph. Runs until killed; --port=0 picks an ephemeral port
+//            (printed).
 //   stats    --graph=in.graph
 //            Prints dataset statistics (the Table II columns).
 //   generate --dataset=cora_ml --scale=0.25 --out=out.graph [--seed=1]
@@ -37,6 +43,7 @@
 // Exit codes: 0 success, 2 usage error.
 #include <exception>
 #include <iostream>
+#include <stdexcept>
 #include <map>
 #include <memory>
 #include <set>
@@ -61,7 +68,8 @@ namespace {
 
 const std::map<std::string, std::string> kSpec = {
     {"graph", "path to a gcon-graph v1 file"},
-    {"model", "path to a gcon-model v1 artifact"},
+    {"model", "path to a gcon-model v1 artifact; for serve, repeatable "
+              "\"name=path\" entries host several models in one process"},
     {"method", "registered method name (eval); see the list below"},
     {"set", "key=value config override (eval); repeatable"},
     {"runs", "independent repeats (eval, default 1)"},
@@ -235,11 +243,41 @@ int CmdPredict(const gcon::Flags& flags) {
   return 0;
 }
 
+// One --model occurrence: "name=path" or a bare path (name "default").
+struct ServeModelFlag {
+  std::string name;
+  std::string path;
+};
+
+std::vector<ServeModelFlag> ParseServeModels(
+    const std::vector<std::string>& entries) {
+  std::vector<ServeModelFlag> models;
+  for (const std::string& entry : entries) {
+    // A '=' before any '/' separates name from path; a path like
+    // "runs/eps=2/out.model" alone stays a bare (default-named) path. A
+    // bare filename that itself contains '=' ("eps=2.model") is ambiguous
+    // — write it as "./eps=2.model" or "default=eps=2.model" (the split
+    // is at the FIRST '=').
+    const std::size_t eq = entry.find('=');
+    const std::size_t slash = entry.find('/');
+    if (eq != std::string::npos && (slash == std::string::npos || eq < slash)) {
+      models.push_back({entry.substr(0, eq), entry.substr(eq + 1)});
+    } else {
+      models.push_back({"default", entry});
+    }
+    if (models.back().path.empty()) {
+      throw std::invalid_argument("--model entry '" + entry +
+                                  "' names no artifact path");
+    }
+  }
+  return models;
+}
+
 int CmdServe(const gcon::Flags& flags) {
   const std::string graph_path = flags.GetString("graph", "");
-  const std::string model_path = flags.GetString("model", "");
-  if (graph_path.empty() || model_path.empty()) {
-    std::cerr << "serve requires --graph and --model\n";
+  const std::vector<std::string> model_flags = flags.GetList("model");
+  if (graph_path.empty() || model_flags.empty()) {
+    std::cerr << "serve requires --graph and at least one --model\n";
     return 2;
   }
   // Strict knob validation up front: zero/negative worker counts, batch
@@ -255,10 +293,17 @@ int CmdServe(const gcon::Flags& flags) {
   }
 
   try {
-    gcon::Graph graph = gcon::LoadGraph(graph_path);
-    gcon::InferenceSession session =
-        gcon::InferenceSession::FromFile(model_path, std::move(graph));
-    gcon::InferenceServer server(std::move(session), options);
+    // Every model serves the same population: one graph in memory, shared
+    // read-only across the sessions (each still runs its own encoder
+    // forward — that depends on the artifact).
+    const auto graph =
+        std::make_shared<const gcon::Graph>(gcon::LoadGraph(graph_path));
+    std::vector<gcon::ModelRouter::NamedModel> models;
+    for (const ServeModelFlag& model : ParseServeModels(model_flags)) {
+      models.push_back({model.name, gcon::InferenceSession::FromFile(
+                                        model.path, graph)});
+    }
+    gcon::InferenceServer server(std::move(models), options);
     return gcon::RunTcpServer(&server, port);
   } catch (const std::exception& e) {
     std::cerr << "serve: " << e.what() << "\n";

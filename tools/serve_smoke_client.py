@@ -7,6 +7,12 @@ predict` prints — so the caller can diff served against offline output.
 Exercises pipelining (all requests are written before responses are read)
 so the server-side micro-batcher actually coalesces.
 
+After the node sweep the client walks the list_models catalog: it routes
+one query to each non-default model by name and sends one inductive
+feature-carrying query to the default model — smoke for the multi-model
+and unseen-node paths. Their answers are checked for shape, not content
+(the offline diff covers the default model's content).
+
 Usage: serve_smoke_client.py <port> <nodes> [connect_timeout_s]
 Exits non-zero on connection failure, an error response, or a short read.
 """
@@ -26,6 +32,18 @@ def connect(port: int, timeout_s: float) -> socket.socket:
             if time.monotonic() >= deadline:
                 raise
             time.sleep(0.1)
+
+
+def ask(stream, request: dict) -> dict:
+    stream.write(json.dumps(request) + "\n")
+    stream.flush()
+    line = stream.readline()
+    if not line:
+        raise RuntimeError("short read from server")
+    response = json.loads(line)
+    if "error" in response:
+        raise RuntimeError(f"server error: {response['error']}")
+    return response
 
 
 def main() -> int:
@@ -51,9 +69,31 @@ def main() -> int:
             return 1
         labels[response["node"]] = response["label"]
 
-    stream.write('{"cmd": "stats"}\n')
-    stream.flush()
-    print(f"server stats: {stream.readline().strip()}", file=sys.stderr)
+    try:
+        catalog = ask(stream, {"cmd": "list_models"})
+        print(f"server models: {json.dumps(catalog)}", file=sys.stderr)
+        features = catalog["models"][0]["features"]
+        classes = catalog["models"][0]["classes"]
+        for model in catalog["models"]:
+            if model["name"] == catalog["default"]:
+                continue
+            routed = ask(stream, {"id": 10**6, "node": 0,
+                                  "model": model["name"]})
+            assert len(routed["logits"]) == model["classes"], routed
+            print(f"routed to '{model['name']}': label {routed['label']}",
+                  file=sys.stderr)
+        inductive = ask(stream, {"id": 10**6 + 1,
+                                 "features": [0.5] * features,
+                                 "edges": [0, 1]})
+        assert inductive["node"] == -1, inductive
+        assert len(inductive["logits"]) == classes, inductive
+        print(f"inductive query: label {inductive['label']}",
+              file=sys.stderr)
+        stats = ask(stream, {"cmd": "stats"})
+        print(f"server stats: {json.dumps(stats)}", file=sys.stderr)
+    except (RuntimeError, AssertionError) as failure:
+        print(failure, file=sys.stderr)
+        return 1
     stream.write('{"cmd": "quit"}\n')
     stream.flush()
     sock.close()
