@@ -2,7 +2,7 @@
 // model artifact to disk, then — as the untrusted consumer would — load it
 // back and serve predictions on a graph file.
 //
-//   ./build/examples/train_and_publish \
+//   ./build/examples/train_and_publish
 //       [--epsilon=2.0] [--dataset=pubmed] [--model=/tmp/gcon.model]
 //
 // Demonstrates the full release surface: graph file I/O (graph/io.h),

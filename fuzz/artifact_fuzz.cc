@@ -1,0 +1,31 @@
+// libFuzzer harness for the model-artifact loader (core/model_io.h).
+//
+// Build: cmake --preset fuzz && cmake --build --preset fuzz
+// Run:   ./build-fuzz/artifact_fuzz fuzz/corpus/artifact -max_total_time=30
+//
+// Invariants under fuzz: LoadModel on arbitrary bytes either returns an
+// artifact or throws std::runtime_error naming the defect — never aborts,
+// leaks, overflows, or allocates unboundedly off a hostile header (the
+// kMaxArtifact* bounds exist because this harness found the OOM).
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/model_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const gcon::GconArtifact artifact = gcon::LoadModel(in, "<fuzz>");
+    (void)artifact;
+  } catch (const std::runtime_error& e) {
+    if (e.what()[0] == '\0') {
+      __builtin_trap();  // every rejection must say why
+    }
+  }
+  return 0;
+}

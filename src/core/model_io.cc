@@ -104,6 +104,10 @@ GconArtifact LoadModel(const std::string& path) {
   if (!in.good()) {
     BadArtifact(path, "cannot open (missing file or no read permission)");
   }
+  return LoadModel(in, path);
+}
+
+GconArtifact LoadModel(std::istream& in, const std::string& path) {
   std::string line;
   if (!std::getline(in, line)) {
     BadArtifact(path, "empty file (want a 'gcon-model v1' header)");
@@ -140,6 +144,12 @@ GconArtifact LoadModel(const std::string& path) {
   if (!(in >> word >> step_count) || word != "steps") {
     BadArtifact(path, "missing 'steps' section");
   }
+  if (step_count > kMaxArtifactSteps) {
+    // Bound declared sizes BEFORE allocating: a corrupt header must not be
+    // able to request unbounded memory (found by the artifact fuzzer).
+    BadArtifact(path, "implausible steps count " + std::to_string(step_count) +
+                          " (max " + std::to_string(kMaxArtifactSteps) + ")");
+  }
   std::vector<int> steps(step_count);
   for (auto& m : steps) {
     if (!(in >> m)) {
@@ -151,6 +161,12 @@ GconArtifact LoadModel(const std::string& path) {
   std::size_t rows = 0, cols = 0;
   if (!(in >> word >> rows >> cols) || word != "theta") {
     BadArtifact(path, "missing 'theta' section header");
+  }
+  if (rows > kMaxArtifactMatrixDim || cols > kMaxArtifactMatrixDim ||
+      (rows != 0 && cols > kMaxArtifactMatrixElems / rows)) {
+    BadArtifact(path, "implausible theta shape " + std::to_string(rows) + "x" +
+                          std::to_string(cols) +
+                          " (declared size would exceed the artifact bound)");
   }
   Matrix theta(rows, cols);
   for (std::size_t k = 0; k < theta.size(); ++k) {

@@ -15,6 +15,7 @@
 #ifndef GCON_CORE_MODEL_IO_H_
 #define GCON_CORE_MODEL_IO_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "core/gcon.h"
@@ -47,9 +48,22 @@ void SaveModel(const GconArtifact& artifact, const std::string& path);
 
 /// Reads an artifact previously written by SaveModel. Throws
 /// std::runtime_error naming `path` and the defect — missing file, wrong
-/// magic/version, out-of-order key, truncated theta/MLP block — so a bad
-/// artifact is a reportable condition instead of an abort.
+/// magic/version, out-of-order key, truncated theta/MLP block, or a header
+/// whose declared sizes exceed the sanity bounds below — so a bad artifact
+/// is a reportable condition instead of an abort (or an OOM).
 GconArtifact LoadModel(const std::string& path);
+
+/// Stream variant: parses one artifact from `in`; `name` labels error
+/// messages the way the path does for the file overload. This is the
+/// surface the artifact fuzz harness drives.
+GconArtifact LoadModel(std::istream& in, const std::string& name);
+
+/// Sanity bounds on a declared artifact header. A well-formed artifact is
+/// nowhere near them; a corrupt or hostile one must not be able to make
+/// LoadModel allocate unbounded memory before the truncation check fires.
+inline constexpr std::size_t kMaxArtifactSteps = 256;
+inline constexpr std::size_t kMaxArtifactMatrixDim = 1u << 24;
+inline constexpr std::size_t kMaxArtifactMatrixElems = 1u << 26;
 
 }  // namespace gcon
 

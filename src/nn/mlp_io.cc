@@ -17,6 +17,14 @@ namespace {
   throw std::runtime_error("mlp block: " + what);
 }
 
+// Sanity bounds on a declared architecture: a corrupt or hostile header
+// must not be able to make LoadMlp allocate unbounded memory before the
+// truncation check fires (found by the artifact fuzzer). A real encoder is
+// nowhere near these.
+constexpr std::size_t kMaxMlpLayers = 64;
+constexpr long long kMaxMlpDim = 1 << 24;
+constexpr long long kMaxMlpMatrixElems = 1 << 26;
+
 const char* ActivationName(Activation act) {
   switch (act) {
     case Activation::kIdentity:
@@ -100,11 +108,28 @@ Mlp LoadMlp(std::istream* in) {
   if (!(*in >> dim_count) || dim_count < 2) {
     Malformed("architecture needs at least input and output dims");
   }
+  if (dim_count > kMaxMlpLayers) {
+    Malformed("implausible layer count " + std::to_string(dim_count) +
+              " (max " + std::to_string(kMaxMlpLayers) + ")");
+  }
   MlpOptions options;
   options.dims.resize(dim_count);
   for (auto& dim : options.dims) {
     if (!(*in >> dim) || dim <= 0) {
       Malformed("non-positive or missing layer dimension");
+    }
+    if (dim > kMaxMlpDim) {
+      Malformed("implausible layer dimension " + std::to_string(dim) +
+                " (max " + std::to_string(kMaxMlpDim) + ")");
+    }
+  }
+  for (std::size_t i = 0; i + 1 < options.dims.size(); ++i) {
+    const long long elems = static_cast<long long>(options.dims[i]) *
+                            static_cast<long long>(options.dims[i + 1]);
+    if (elems > kMaxMlpMatrixElems) {
+      Malformed("implausible weight shape " + std::to_string(options.dims[i]) +
+                "x" + std::to_string(options.dims[i + 1]) +
+                " (declared size would exceed the mlp block bound)");
     }
   }
   std::string activation;

@@ -1,0 +1,5 @@
+// Fixture: seeded baseline-layering violation — a bench including a
+// concrete baseline header instead of dispatching through the registry.
+#include "baselines/gcn.h"
+
+int main() { return 0; }

@@ -1,0 +1,15 @@
+// Fixture: seeded nolint-reason violation — a bare tidy-suppression marker
+// with no named check or reason. The two markers below it follow the
+// required `(check-name): why` shape and must NOT be flagged.
+int RogueSuppression(int x) {
+  return x + 1;  // NOLINT
+}
+
+int ExplainedSuppression(int x) {
+  // NOLINTNEXTLINE(bugprone-example-check): fixture shows the legal shape.
+  return x + 2;
+}
+
+int InlineExplained(int x) {
+  return x + 3;  // NOLINT(performance-example-check): fixture legal shape.
+}

@@ -1,0 +1,8 @@
+// Fixture: seeded gemm-reference violation — a production call into the
+// unblocked seed oracle kernel. (Never compiled; the include just mirrors
+// how a real offender would pull the symbol in.)
+#include "linalg/gemm_kernels.h"
+
+void SlowPath(const double* a, const double* b, double* c, int n) {
+  GemmReference(a, b, c, n);
+}

@@ -1,0 +1,8 @@
+// Fixture: seeded no-raw-openmp violation (raw pragma outside the
+// sanctioned kernel dirs).
+void RoguePragmaLoop(double* x, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    x[i] *= 2.0;
+  }
+}

@@ -1,0 +1,15 @@
+// Fixture: seeded rng-discipline violations — two rand() call lines (the
+// pair is the ambiguous-waiver case in the self-test), plus srand and
+// std::random_device. `strand(` must NOT match (identifier boundary).
+#include <cstdlib>
+#include <random>
+
+int strand(int x) { return x; }  // decoy: not rand()
+
+int RogueEntropy() {
+  srand(7);
+  int a = rand();
+  int b = rand();
+  std::random_device dev;
+  return a + b + static_cast<int>(dev()) + strand(1);
+}

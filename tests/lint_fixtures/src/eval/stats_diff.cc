@@ -1,0 +1,16 @@
+// Fixture: seeded scoped-cache-stats violation — the retired "diff the
+// global stats across the call" scheme. The commented-out copy below the
+// live one must NOT be flagged (the linter strips comments).
+struct FakeStats {
+  unsigned long hits;
+};
+struct FakeCache {
+  static FakeCache& Global();
+  FakeStats stats() const { return {0}; }
+};
+
+unsigned long RacyDelta() {
+  const auto before = FakeCache::Global().stats();
+  // const auto commented = FakeCache::Global().stats();
+  return before.hits;
+}

@@ -1,0 +1,7 @@
+// Fixture: NOT a violation — src/linalg/ is a sanctioned OpenMP home.
+void SanctionedKernel(double* x, int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    x[i] += 1.0;
+  }
+}

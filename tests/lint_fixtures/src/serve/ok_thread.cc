@@ -1,0 +1,8 @@
+// Fixture: NOT a violation — src/serve/ owns its threads (TCP accept loop,
+// resident batcher workers).
+#include <thread>
+
+void ServeAcceptLoop() {
+  std::thread acceptor([] {});
+  acceptor.join();
+}

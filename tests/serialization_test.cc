@@ -190,5 +190,74 @@ TEST(ModelIo, HighPrecisionSurvivesRoundTrip) {
   EXPECT_DOUBLE_EQ(loaded.theta(2, 0), -123456.789012345678);
 }
 
+// --- hostile-header bounds ---------------------------------------------------
+// A corrupt or malicious artifact must be rejected by its *declared* sizes
+// before any allocation happens — the artifact fuzz harness demonstrated
+// that an unbounded `steps`/`theta`/`mlp` header turns LoadModel into an
+// OOM. These mirror fuzz/corpus/artifact/huge_{steps,theta}.
+
+std::string ArtifactWithTail(const std::string& tail) {
+  return "gcon-model v1\nalpha 0.5\nalpha_inference -1\nepsilon 1\n"
+         "delta 0.001\nbeta 1\nlambda_bar 0.2\nlambda_prime 0\n" +
+         tail;
+}
+
+std::string LoadModelError(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    LoadModel(in, "<hostile>");
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ModelIo, RejectsImplausibleStepsCountBeforeAllocating) {
+  const std::string error =
+      LoadModelError(ArtifactWithTail("steps 99999999999999 1\n"));
+  EXPECT_NE(error.find("implausible steps count"), std::string::npos) << error;
+}
+
+TEST(ModelIo, RejectsImplausibleThetaShapeBeforeAllocating) {
+  const std::string error = LoadModelError(
+      ArtifactWithTail("steps 2 1 2\ntheta 999999999 999999999\n"));
+  EXPECT_NE(error.find("implausible theta shape"), std::string::npos) << error;
+}
+
+TEST(ModelIo, RejectsThetaShapeWhoseProductOverflows) {
+  // Each dim alone is under the per-dim cap; the product must still trip
+  // the element bound instead of wrapping the allocation size.
+  const std::string error = LoadModelError(
+      ArtifactWithTail("steps 2 1 2\ntheta 16000000 16000000\n"));
+  EXPECT_NE(error.find("implausible theta shape"), std::string::npos) << error;
+}
+
+std::string LoadMlpError(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    LoadMlp(&in);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(MlpIo, RejectsImplausibleLayerCountBeforeAllocating) {
+  const std::string error = LoadMlpError("mlp 99999999999999 3 3 relu\n");
+  EXPECT_NE(error.find("implausible layer count"), std::string::npos) << error;
+}
+
+TEST(MlpIo, RejectsImplausibleLayerDimension) {
+  const std::string error = LoadMlpError("mlp 2 999999999 3 relu\n");
+  EXPECT_NE(error.find("implausible layer dimension"), std::string::npos)
+      << error;
+}
+
+TEST(MlpIo, RejectsWeightShapeWhoseProductExceedsBound) {
+  const std::string error = LoadMlpError("mlp 2 16000000 16000000 relu\n");
+  EXPECT_NE(error.find("implausible weight shape"), std::string::npos)
+      << error;
+}
+
 }  // namespace
 }  // namespace gcon
