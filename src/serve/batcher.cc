@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "serve/fault_injection.h"
 
 namespace gcon {
 namespace {
@@ -28,6 +29,12 @@ void ServeOptions::Validate() const {
   if (threads < 1) BadOption("threads", threads);
   if (max_batch < 1) BadOption("max_batch", max_batch);
   if (max_wait_us < 1) BadOption("max_wait_us", max_wait_us);
+  if (max_queue < 0) {
+    throw std::invalid_argument(
+        "serve option 'max_queue' must be >= 0 (0 = unbounded; got " +
+        std::to_string(max_queue) + ")");
+  }
+  if (io_timeout_ms < 1) BadOption("io_timeout_ms", io_timeout_ms);
 }
 
 MicroBatcher::MicroBatcher(ServeOptions options, BatchHandler handler)
@@ -63,20 +70,58 @@ void MicroBatcher::Stop() {
   }
 }
 
+void MicroBatcher::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  // Wake any worker holding a lone query back for company: with admission
+  // closed no company is coming, so ship what is queued now.
+  arrival_cv_.notify_all();
+}
+
+void MicroBatcher::Drain() {
+  BeginDrain();
+  Stop();
+}
+
 std::future<ServeResponse> MicroBatcher::Submit(std::size_t queue,
                                                 ServeRequest request) {
   GCON_CHECK_LT(queue, queues_.size());
   auto pending = std::make_unique<PendingQuery>();
   pending->request = std::move(request);
   pending->enqueued = std::chrono::steady_clock::now();
+  if (pending->request.deadline_us != 0) {
+    pending->has_deadline = true;
+    pending->deadline =
+        pending->enqueued +
+        std::chrono::microseconds(pending->request.deadline_us);
+  }
   std::future<ServeResponse> future = pending->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      throw std::runtime_error("MicroBatcher: Submit after Stop");
+    if (stopping_ || draining_) {
+      throw ServeError(ServeErrorCode::kDraining,
+                       "server draining; not accepting new queries");
     }
-    queues_[queue]->pending.push_back(std::move(pending));
+    Queue& target = *queues_[queue];
+    // Admission control: reject rather than queue without bound. The
+    // injected variant lets the chaos/conformance suites hit this path
+    // deterministically without racing a real flood.
+    const bool queue_full =
+        options_.max_queue > 0 &&
+        target.pending.size() >= static_cast<std::size_t>(options_.max_queue);
+    if (queue_full ||
+        FaultInjector::Global().ShouldFire(Fault::kQueueFull)) {
+      ++target.rejected_overload;
+      throw ServeError(ServeErrorCode::kOverloaded,
+                       "model queue full (max_queue=" +
+                           std::to_string(options_.max_queue) +
+                           "); retry later");
+    }
+    target.pending.push_back(std::move(pending));
     ++total_pending_;
+    if (target.pending.size() > target.queue_peak) {
+      target.queue_peak = target.pending.size();
+    }
   }
   arrival_cv_.notify_one();
   return future;
@@ -87,7 +132,15 @@ MicroBatcher::Queue* MicroBatcher::TakeBatchLocked(
     std::vector<std::unique_ptr<PendingQuery>>* batch) {
   const std::size_t max_batch = static_cast<std::size_t>(options_.max_batch);
   for (;;) {
-    arrival_cv_.wait(*lock, [&] { return stopping_ || total_pending_ > 0; });
+    // Bounded wait, not an indefinite one: glibc condvars before 2.38 can
+    // lose a broadcast to a stolen wakeup (sourceware bug 25847), which
+    // left an idle worker asleep through Stop()'s notify and hung a
+    // SIGTERM drain until a second signal's spurious wake rescued it.
+    // Rechecking the predicate every 50ms turns that lost wakeup into a
+    // bounded delay; an idle worker waking 20x/s costs nothing.
+    while (!(stopping_ || total_pending_ > 0)) {
+      arrival_cv_.wait_for(*lock, std::chrono::milliseconds(50));
+    }
     if (total_pending_ == 0) return nullptr;  // stopping and drained
 
     // FIFO across models: serve the queue whose head waited longest.
@@ -106,11 +159,11 @@ MicroBatcher::Queue* MicroBatcher::TakeBatchLocked(
     // a lone query — lone across EVERY queue; pending work for another
     // model must not idle this worker — is worth holding back, briefly,
     // for company.
-    if (total_pending_ == 1 && max_batch > 1 && !stopping_) {
+    if (total_pending_ == 1 && max_batch > 1 && !stopping_ && !draining_) {
       const auto deadline =
           queue->pending.front()->enqueued +
           std::chrono::microseconds(options_.max_wait_us);
-      while (queue->pending.size() < max_batch && !stopping_ &&
+      while (queue->pending.size() < max_batch && !stopping_ && !draining_ &&
              total_pending_ == queue->pending.size()) {
         const auto now = std::chrono::steady_clock::now();
         if (now >= deadline) break;
@@ -147,14 +200,58 @@ void MicroBatcher::WorkerMain() {
       std::unique_lock<std::mutex> lock(mu_);
       queue = TakeBatchLocked(&lock, &batch);
       if (queue == nullptr) return;
-      ++queue->batches_run;
-      queue->queries_served += batch.size();
     }
+
+    // Chaos site: a stalled handler (lock contention, page fault storm,
+    // a slow downstream) delays execution past queued deadlines — the
+    // sleep sits before the deadline check so injected slowness expires
+    // deadlined queries exactly like real slowness would.
+    FaultInjector::Global().MaybeSleepSlowHandler();
+
+    // Drop expired queries now, immediately before the GEMM: their
+    // clients have given up, so spending batch rows on them only delays
+    // everyone still waiting. Their futures resolve with a structured
+    // deadline_exceeded error, never silence.
+    std::vector<std::unique_ptr<PendingQuery>> expired;
+    {
+      bool any_deadline = false;
+      for (const auto& p : batch) any_deadline |= p->has_deadline;
+      if (any_deadline) {
+        const auto now = std::chrono::steady_clock::now();
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (batch[i]->has_deadline && now >= batch[i]->deadline) {
+            expired.push_back(std::move(batch[i]));
+          } else {
+            if (keep != i) batch[keep] = std::move(batch[i]);
+            ++keep;
+          }
+        }
+        batch.resize(keep);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue->rejected_deadline += expired.size();
+      if (!batch.empty()) {
+        ++queue->batches_run;
+        queue->queries_served += batch.size();
+      }
+    }
+    for (auto& p : expired) {
+      p->promise.set_exception(std::make_exception_ptr(
+          ServeError(ServeErrorCode::kDeadlineExceeded,
+                     "query deadline expired before execution")));
+    }
+    if (batch.empty()) continue;
 
     std::vector<PendingQuery*> views;
     views.reserve(batch.size());
     for (auto& p : batch) views.push_back(p.get());
     try {
+      if (FaultInjector::Global().ShouldFire(Fault::kMidBatchThrow)) {
+        throw std::runtime_error("injected mid-batch fault");
+      }
       queue->handler(views);
       const auto done = std::chrono::steady_clock::now();
       for (auto& p : batch) {
@@ -182,6 +279,9 @@ void MicroBatcher::ResetCounters() {
   for (auto& queue : queues_) {
     queue->queries_served = 0;
     queue->batches_run = 0;
+    queue->rejected_overload = 0;
+    queue->rejected_deadline = 0;
+    queue->queue_peak = 0;
     queue->latency.Reset();
   }
 }
@@ -215,6 +315,38 @@ std::uint64_t MicroBatcher::batches_run(std::size_t queue) const {
   GCON_CHECK_LT(queue, queues_.size());
   std::lock_guard<std::mutex> lock(mu_);
   return queues_[queue]->batches_run;
+}
+
+std::uint64_t MicroBatcher::rejected_overload() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& queue : queues_) total += queue->rejected_overload;
+  return total;
+}
+
+std::uint64_t MicroBatcher::rejected_deadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& queue : queues_) total += queue->rejected_deadline;
+  return total;
+}
+
+std::uint64_t MicroBatcher::rejected_overload(std::size_t queue) const {
+  GCON_CHECK_LT(queue, queues_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_[queue]->rejected_overload;
+}
+
+std::uint64_t MicroBatcher::rejected_deadline(std::size_t queue) const {
+  GCON_CHECK_LT(queue, queues_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_[queue]->rejected_deadline;
+}
+
+std::uint64_t MicroBatcher::queue_peak(std::size_t queue) const {
+  GCON_CHECK_LT(queue, queues_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_[queue]->queue_peak;
 }
 
 }  // namespace gcon

@@ -45,6 +45,7 @@
 
 #include "serve/inference_session.h"
 #include "serve/latency_stats.h"
+#include "serve/serve_error.h"
 
 namespace gcon {
 
@@ -53,9 +54,17 @@ struct ServeOptions {
   int threads = 1;       ///< batch worker threads (shared across queues)
   int max_batch = 32;    ///< queries coalesced into one handler call
   int max_wait_us = 200; ///< coalescing deadline past the oldest arrival
+  /// Admission control: per-model pending-queue cap. A Submit against a
+  /// full queue throws ServeError(kOverloaded) instead of growing the
+  /// queue without bound. 0 = unbounded (the pre-robustness behavior).
+  int max_queue = 0;
+  /// TCP front end: per-connection read/write timeout. A client that
+  /// stalls (sends nothing, or stops reading its responses) past this is
+  /// disconnected instead of pinning its connection thread forever.
+  int io_timeout_ms = 30000;
 
-  /// Throws std::invalid_argument naming the offending knob when any value
-  /// is zero or negative (mirrors the CLI's strict flag validation).
+  /// Throws std::invalid_argument naming the offending knob when a value
+  /// is out of range (mirrors the CLI's strict flag validation).
   void Validate() const;
 };
 
@@ -64,6 +73,10 @@ struct PendingQuery {
   ServeRequest request;
   ServeResponse response;
   std::chrono::steady_clock::time_point enqueued;
+  /// enqueued + request.deadline_us when the request carries a deadline
+  /// (has_deadline), else unset.
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
   std::promise<ServeResponse> promise;
 };
 
@@ -95,8 +108,17 @@ class MicroBatcher {
   std::future<ServeResponse> Submit(std::size_t queue, ServeRequest request);
 
   /// Drains every queue and joins the workers. Submissions after Stop fail
-  /// with std::runtime_error. Idempotent.
+  /// with ServeError(kDraining) (a std::runtime_error). Idempotent.
   void Stop();
+
+  /// Stops admitting (Submit throws ServeError(kDraining)) while already-
+  /// queued work keeps completing — the first half of a graceful shutdown.
+  /// Idempotent; Stop() still joins the workers afterwards.
+  void BeginDrain();
+
+  /// Graceful shutdown: BeginDrain, then Stop. Every query accepted before
+  /// the drain began resolves (value or structured error); none is dropped.
+  void Drain();
 
   /// Enqueue-to-completion latency of every completed query on `queue`.
   const LatencyStats& latency(std::size_t queue = 0) const;
@@ -110,9 +132,18 @@ class MicroBatcher {
   /// Aggregates across every queue.
   std::uint64_t queries_served() const;
   std::uint64_t batches_run() const;
+  std::uint64_t rejected_overload() const;
+  std::uint64_t rejected_deadline() const;
   /// Per-queue counters.
   std::uint64_t queries_served(std::size_t queue) const;
   std::uint64_t batches_run(std::size_t queue) const;
+  /// Submissions refused because the queue was at max_queue.
+  std::uint64_t rejected_overload(std::size_t queue) const;
+  /// Accepted queries dropped in queue when their deadline passed.
+  std::uint64_t rejected_deadline(std::size_t queue) const;
+  /// High-water mark of the pending queue since the last ResetCounters —
+  /// the observable bound admission control promises.
+  std::uint64_t queue_peak(std::size_t queue) const;
   const ServeOptions& options() const { return options_; }
 
  private:
@@ -125,6 +156,9 @@ class MicroBatcher {
     std::deque<std::unique_ptr<PendingQuery>> pending;
     std::uint64_t queries_served = 0;
     std::uint64_t batches_run = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_deadline = 0;
+    std::uint64_t queue_peak = 0;
     LatencyStats latency;
   };
 
@@ -141,6 +175,7 @@ class MicroBatcher {
   std::vector<std::unique_ptr<Queue>> queues_;
   std::size_t total_pending_ = 0;
   bool stopping_ = false;
+  bool draining_ = false;
 
   std::vector<std::thread> workers_;
 };

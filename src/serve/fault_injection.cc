@@ -1,0 +1,132 @@
+#include "serve/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace gcon {
+namespace {
+
+constexpr const char* kFaultNames[kNumFaults] = {
+    "queue_full", "slow_handler", "mid_batch_throw", "torn_socket",
+    "swap_during_batch",
+};
+
+int FaultIndexByName(const std::string& name) {
+  for (int f = 0; f < kNumFaults; ++f) {
+    if (name == kFaultNames[f]) return f;
+  }
+  return -1;
+}
+
+}  // namespace
+
+const char* FaultName(Fault fault) {
+  return kFaultNames[static_cast<int>(fault)];
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("GCON_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    ArmFromSpec(spec);
+  }
+}
+
+void FaultInjector::Arm(Fault fault, int count) {
+  if (count <= 0) return;
+  remaining_[static_cast<std::size_t>(fault)].fetch_add(
+      count, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+bool FaultInjector::ArmFromSpec(const std::string& spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string entry =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!entry.empty()) {
+      const std::size_t colon = entry.find(':');
+      const std::string name = entry.substr(0, colon);
+      int count = 1;
+      if (colon != std::string::npos) {
+        try {
+          count = std::stoi(entry.substr(colon + 1));
+        } catch (const std::exception&) {
+          return false;
+        }
+        if (count < 1) return false;
+      }
+      const int index = FaultIndexByName(name);
+      if (index < 0) return false;
+      Arm(static_cast<Fault>(index), count);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+bool FaultInjector::ShouldFire(Fault fault) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  std::atomic<int>& remaining = remaining_[static_cast<std::size_t>(fault)];
+  int count = remaining.load(std::memory_order_relaxed);
+  while (count > 0) {
+    if (remaining.compare_exchange_weak(count, count - 1,
+                                        std::memory_order_acq_rel)) {
+      fired_[static_cast<std::size_t>(fault)].fetch_add(
+          1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::SetCallback(Fault fault, std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(callback_mu_);
+  callbacks_[static_cast<std::size_t>(fault)] = std::move(callback);
+}
+
+void FaultInjector::FireCallback(Fault fault) {
+  if (!ShouldFire(fault)) return;
+  std::function<void()> callback;
+  {
+    std::lock_guard<std::mutex> lock(callback_mu_);
+    callback = callbacks_[static_cast<std::size_t>(fault)];
+  }
+  if (callback) callback();
+}
+
+void FaultInjector::MaybeSleepSlowHandler() {
+  if (!ShouldFire(Fault::kSlowHandler)) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(slow_handler_us()));
+}
+
+std::uint64_t FaultInjector::fired(Fault fault) const {
+  return fired_[static_cast<std::size_t>(fault)].load(
+      std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  for (int f = 0; f < kNumFaults; ++f) {
+    remaining_[static_cast<std::size_t>(f)].store(0,
+                                                  std::memory_order_relaxed);
+    fired_[static_cast<std::size_t>(f)].store(0, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(callback_mu_);
+    for (auto& callback : callbacks_) callback = nullptr;
+  }
+  slow_handler_us_.store(20000, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_release);
+}
+
+}  // namespace gcon

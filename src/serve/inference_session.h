@@ -86,6 +86,14 @@ struct ServeRequest {
   /// augmented with this node at index n.
   bool has_features = false;
   std::vector<double> features;
+  /// Optional deadline, microseconds from submission; 0 = none. A query
+  /// still queued when its deadline passes is dropped by the batch worker
+  /// immediately before the GEMM and fails with a structured
+  /// `deadline_exceeded` error instead of wasting the batch slot.
+  std::int64_t deadline_us = 0;
+  /// Admin payload for the `publish` verb: filesystem path of the artifact
+  /// to load. Unused (and rejected by the parser) on query lines.
+  std::string path;
 };
 
 /// Answer to one query.
@@ -132,6 +140,10 @@ class InferenceSession {
   int num_nodes() const { return graph_->num_nodes(); }
   int num_classes() const { return static_cast<int>(num_classes_); }
   int feature_dim() const { return graph_->feature_dim(); }
+  /// The serving population (never null). Hot-swap (ModelRouter::Publish)
+  /// builds the replacement session over this same shared graph so a swap
+  /// never duplicates the population in memory.
+  const std::shared_ptr<const Graph>& graph_ptr() const { return graph_; }
   /// True in artifact mode (per-query propagation; private edges and
   /// feature-carrying queries allowed).
   bool per_query() const { return per_query_; }

@@ -19,23 +19,57 @@ bool WireSafeName(const std::string& name) {
 
 }  // namespace
 
-ModelRouter::ModelRouter(std::vector<NamedModel> models)
-    : models_(std::move(models)) {
-  if (models_.empty()) {
+ModelRouter::ModelRouter(std::vector<NamedModel> models) {
+  if (models.empty()) {
     throw std::invalid_argument("ModelRouter needs at least one model");
   }
-  for (int i = 0; i < size(); ++i) {
-    const std::string& name = models_[static_cast<std::size_t>(i)].name;
-    if (!WireSafeName(name)) {
+  slots_.reserve(models.size());
+  for (NamedModel& model : models) {
+    const int i = static_cast<int>(slots_.size());
+    if (!WireSafeName(model.name)) {
       throw std::invalid_argument(
-          "model name '" + name +
+          "model name '" + model.name +
           "' is not wire-safe (must be non-empty, no quotes, backslashes, "
           "or whitespace)");
     }
-    if (!by_name_.emplace(name, i).second) {
-      throw std::invalid_argument("duplicate model name '" + name + "'");
+    if (!by_name_.emplace(model.name, i).second) {
+      throw std::invalid_argument("duplicate model name '" + model.name +
+                                  "'");
     }
+    slots_.push_back({std::move(model.name),
+                      std::make_shared<const InferenceSession>(
+                          std::move(model.session))});
   }
+}
+
+std::shared_ptr<const InferenceSession> ModelRouter::SessionRef(
+    int index) const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return slots_[static_cast<std::size_t>(index)].session;
+}
+
+std::shared_ptr<const InferenceSession> ModelRouter::Publish(
+    const std::string& name, InferenceSession session) {
+  const int index = Resolve(name);
+  auto incoming = std::make_shared<const InferenceSession>(
+      std::move(session));
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  Slot& slot = slots_[static_cast<std::size_t>(index)];
+  // Same-population check: requests are validated against whatever version
+  // is current at Submit time but may execute (batched) against the next
+  // one; matching node count and feature dim keeps every accepted request
+  // servable on both sides of the flip.
+  if (incoming->num_nodes() != slot.session->num_nodes() ||
+      incoming->feature_dim() != slot.session->feature_dim()) {
+    throw std::invalid_argument(
+        "publish for '" + slot.name + "' serves a different population (" +
+        std::to_string(incoming->num_nodes()) + " nodes x " +
+        std::to_string(incoming->feature_dim()) + " features; serving " +
+        std::to_string(slot.session->num_nodes()) + " x " +
+        std::to_string(slot.session->feature_dim()) + ")");
+  }
+  slot.session.swap(incoming);
+  return incoming;  // now the retired session
 }
 
 int ModelRouter::Find(const std::string& model) const {
@@ -55,9 +89,9 @@ int ModelRouter::Resolve(const std::string& model) const {
 
 std::string ModelRouter::NameList() const {
   std::string out;
-  for (const NamedModel& model : models_) {
+  for (const Slot& slot : slots_) {
     if (!out.empty()) out += ", ";
-    out += model.name;
+    out += slot.name;
   }
   return out;
 }
@@ -66,13 +100,14 @@ std::string ModelRouter::ListModelsJson() const {
   std::ostringstream out;
   out << "{\"models\": [";
   for (int i = 0; i < size(); ++i) {
-    const NamedModel& model = models_[static_cast<std::size_t>(i)];
-    out << (i == 0 ? "" : ", ") << "{\"name\": \"" << model.name
-        << "\", \"nodes\": " << model.session.num_nodes()
-        << ", \"classes\": " << model.session.num_classes()
-        << ", \"features\": " << model.session.feature_dim()
-        << ", \"per_query\": "
-        << (model.session.per_query() ? "true" : "false") << "}";
+    const std::string& slot_name = name(i);
+    const std::shared_ptr<const InferenceSession> session = SessionRef(i);
+    out << (i == 0 ? "" : ", ") << "{\"name\": \"" << slot_name
+        << "\", \"nodes\": " << session->num_nodes()
+        << ", \"classes\": " << session->num_classes()
+        << ", \"features\": " << session->feature_dim()
+        << ", \"per_query\": " << (session->per_query() ? "true" : "false")
+        << "}";
   }
   out << "], \"default\": \"" << default_model() << "\"}";
   return out.str();

@@ -1,18 +1,30 @@
 // Name -> InferenceSession routing for the multi-model inference server.
 //
-// A ModelRouter owns several named, immutable InferenceSessions — one per
-// published artifact the process serves — and resolves the wire protocol's
-// "model" field to one of them. Construction validates the set (non-empty,
-// unique wire-safe names); after that every method is const and lock-free,
-// so the server's submit path and admin verbs read it concurrently without
-// synchronization. The first-listed model is the default: a request that
-// names no model (every pre-multi-model client) routes there, which is
-// what makes a one-model router behave exactly like the old single-session
-// server.
+// A ModelRouter owns several named InferenceSessions — one per published
+// artifact the process serves — and resolves the wire protocol's "model"
+// field to one of them. Construction validates the set (non-empty, unique
+// wire-safe names); the NAME SET is immutable after that, so Resolve /
+// Find / NameList stay lock-free forever.
+//
+// The sessions themselves are hot-swappable: each slot holds a
+// shared_ptr<const InferenceSession>, and Publish(name, session) flips the
+// pointer atomically (under a short mutex) to a replacement built over the
+// same serving population. In-flight batches keep working against the
+// snapshot they took via SessionRef() — the old session retires when the
+// last such snapshot releases it, which is the "drain old" half of a
+// zero-dropped-queries hot swap. Every batch takes exactly one snapshot,
+// so a single batch never mixes two versions and the bitwise-identity
+// invariant holds on each side of the flip.
+//
+// The first-listed model is the default: a request that names no model
+// (every pre-multi-model client) routes there, which is what makes a
+// one-model router behave exactly like the old single-session server.
 #ifndef GCON_SERVE_ROUTER_H_
 #define GCON_SERVE_ROUTER_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,12 +44,33 @@ class ModelRouter {
   /// verbatim (quotes, backslashes, whitespace, control bytes).
   explicit ModelRouter(std::vector<NamedModel> models);
 
-  int size() const { return static_cast<int>(models_.size()); }
-  const std::string& name(int index) const { return models_[index].name; }
-  const InferenceSession& session(int index) const {
-    return models_[index].session;
+  int size() const { return static_cast<int>(slots_.size()); }
+  const std::string& name(int index) const {
+    return slots_[static_cast<std::size_t>(index)].name;
   }
-  const std::string& default_model() const { return models_.front().name; }
+  /// The currently published session for `index`. The reference is valid
+  /// until the next Publish against this name — code that works across a
+  /// possible swap window (a batch handler, anything off the construction
+  /// path) must hold a SessionRef snapshot instead.
+  const InferenceSession& session(int index) const {
+    return *SessionRef(index);
+  }
+  /// Owning snapshot of the published session: keeps that version alive
+  /// (and its answers bitwise stable) however many Publish calls land
+  /// while the caller works.
+  std::shared_ptr<const InferenceSession> SessionRef(int index) const;
+  const std::string& default_model() const { return slots_.front().name; }
+
+  /// Atomic hot-swap: publishes `session` as the new version of `name`
+  /// (which must already be served — the name set is fixed at startup).
+  /// The replacement must serve the same population (node count and
+  /// feature dim), so every request validated against the old version is
+  /// still valid when a batch executes it against the new one. Returns the
+  /// retired session (callers usually drop it; in-flight batches keep it
+  /// alive until they finish). Throws std::invalid_argument on an unknown
+  /// name or a population mismatch.
+  std::shared_ptr<const InferenceSession> Publish(const std::string& name,
+                                                  InferenceSession session);
 
   /// Index for `model` ("" means the default model). Throws
   /// std::invalid_argument naming the unknown model and listing what is
@@ -58,7 +91,16 @@ class ModelRouter {
   std::string ListModelsJson() const;
 
  private:
-  std::vector<NamedModel> models_;
+  struct Slot {
+    std::string name;
+    std::shared_ptr<const InferenceSession> session;
+  };
+
+  /// Guards each slot's session pointer (names and the slot vector itself
+  /// never change after construction). Held only for pointer reads/flips,
+  /// never across inference.
+  mutable std::mutex swap_mu_;
+  std::vector<Slot> slots_;
   std::map<std::string, int> by_name_;
 };
 

@@ -1,0 +1,54 @@
+// Structured serving errors: the overload/deadline/drain rejections the
+// robustness layer produces carry a machine-readable code alongside the
+// human-readable message, so the wire protocol can emit
+// {"id": I, "code": "overloaded", "error": "..."} lines a client can
+// branch on (retry-after-backoff vs give-up) without parsing prose.
+//
+// ServeError derives from std::runtime_error on purpose: every pre-existing
+// catch site (the connection loop, tests asserting Submit-after-Stop
+// throws) keeps working, and only code that cares about the distinction
+// catches the derived type first.
+#ifndef GCON_SERVE_SERVE_ERROR_H_
+#define GCON_SERVE_SERVE_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace gcon {
+
+/// Machine-readable rejection categories. Names (ServeErrorCodeName) are
+/// wire-visible and locked by the conformance goldens.
+enum class ServeErrorCode {
+  kOverloaded,        ///< per-model pending queue at max_queue; retry later
+  kDeadlineExceeded,  ///< the query's deadline_us passed before execution
+  kDraining,          ///< server is draining/stopped; no new queries
+};
+
+inline const char* ServeErrorCodeName(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kOverloaded:
+      return "overloaded";
+    case ServeErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeErrorCode::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+/// A rejection with a wire-visible code. Thrown by MicroBatcher::Submit
+/// (overload, draining) and set on futures whose query expired in queue.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ServeErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  ServeErrorCode code() const { return code_; }
+
+ private:
+  ServeErrorCode code_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_SERVE_SERVE_ERROR_H_

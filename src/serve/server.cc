@@ -4,8 +4,11 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <deque>
@@ -17,7 +20,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "linalg/ops.h"
+#include "serve/fault_injection.h"
+#include "serve/serve_error.h"
 #include "serve/wire.h"
 
 namespace gcon {
@@ -39,14 +45,22 @@ InferenceServer::InferenceServer(std::vector<ModelRouter::NamedModel> models,
                                  ServeOptions options)
     : router_(std::move(models)) {
   // One handler per model, all run by the batcher's shared workers: one
-  // gather + one GEMM per batch, then per-query argmax. The sessions are
-  // immutable after construction (and their addresses stable inside
-  // router_), so concurrent batches need no locking.
+  // gather + one GEMM per batch, then per-query argmax. Each batch takes
+  // ONE owning snapshot of its model's published session — a concurrent
+  // Publish flips the router slot without disturbing this batch (the
+  // snapshot keeps the old version alive until the batch completes, the
+  // "drain in-flight against the old session" half of hot-swap), and a
+  // batch never mixes two versions.
   std::vector<MicroBatcher::BatchHandler> handlers;
   handlers.reserve(static_cast<std::size_t>(router_.size()));
   for (int m = 0; m < router_.size(); ++m) {
-    const InferenceSession* session = &router_.session(m);
-    handlers.push_back([session](std::vector<PendingQuery*>& batch) {
+    handlers.push_back([this, m](std::vector<PendingQuery*>& batch) {
+      const std::shared_ptr<const InferenceSession> session =
+          router_.SessionRef(m);
+      // Chaos site: the installed callback (a Publish against this very
+      // model) runs inside the snapshot-to-GEMM window — the exact race
+      // the atomic hot-swap must win.
+      FaultInjector::Global().FireCallback(Fault::kSwapDuringBatch);
       std::vector<const ServeRequest*> requests;
       requests.reserve(batch.size());
       for (PendingQuery* p : batch) requests.push_back(&p->request);
@@ -67,7 +81,11 @@ void InferenceServer::Stop() { batcher_->Stop(); }
 
 std::future<ServeResponse> InferenceServer::QueryAsync(ServeRequest request) {
   const int model = router_.Resolve(request.model);
-  router_.session(model).ValidateRequest(request);
+  // Hold an owning snapshot across validation so a concurrent Publish
+  // cannot retire the session mid-check. (Publish enforces that the
+  // replacement serves the same population, so a request valid against
+  // this snapshot stays valid for whichever version its batch executes.)
+  router_.SessionRef(model)->ValidateRequest(request);
   return batcher_->Submit(static_cast<std::size_t>(model),
                           std::move(request));
 }
@@ -75,6 +93,35 @@ std::future<ServeResponse> InferenceServer::QueryAsync(ServeRequest request) {
 ServeResponse InferenceServer::Query(ServeRequest request) {
   return QueryAsync(std::move(request)).get();
 }
+
+void InferenceServer::Publish(const std::string& name,
+                              InferenceSession session) {
+  router_.Publish(name.empty() ? router_.default_model() : name,
+                  std::move(session));
+}
+
+std::string InferenceServer::PublishFromFile(const std::string& name,
+                                             const std::string& path) {
+  const std::string target =
+      name.empty() ? router_.default_model() : name;
+  const int index = router_.Resolve(target);
+  // The replacement is built over the SAME shared serving population the
+  // current version uses — a swap changes model weights, never the graph.
+  InferenceSession incoming = InferenceSession::FromFile(
+      path, router_.SessionRef(index)->graph_ptr());
+  std::ostringstream out;
+  out << "{\"published\": \"" << target
+      << "\", \"nodes\": " << incoming.num_nodes()
+      << ", \"classes\": " << incoming.num_classes()
+      << ", \"features\": " << incoming.feature_dim() << ", \"per_query\": "
+      << (incoming.per_query() ? "true" : "false") << "}";
+  router_.Publish(target, std::move(incoming));
+  return out.str();
+}
+
+void InferenceServer::BeginDrain() { batcher_->BeginDrain(); }
+
+void InferenceServer::Drain() { batcher_->Drain(); }
 
 LatencyStats::Snapshot InferenceServer::latency() const {
   if (router_.size() == 1) return batcher_->latency(0).Summarize();
@@ -103,7 +150,10 @@ namespace {
 
 void AppendCounters(std::ostream* out, std::uint64_t queries,
                     std::uint64_t batches,
-                    const LatencyStats::Snapshot& lat) {
+                    const LatencyStats::Snapshot& lat,
+                    std::uint64_t rejected_overload,
+                    std::uint64_t rejected_deadline,
+                    std::uint64_t queue_peak) {
   *out << "\"queries\": " << queries << ", \"batches\": " << batches
        << ", \"mean_batch\": "
        << (batches == 0 ? 0.0
@@ -111,7 +161,10 @@ void AppendCounters(std::ostream* out, std::uint64_t queries,
                               static_cast<double>(batches))
        << ", \"mean_us\": " << lat.mean_us << ", \"p50_us\": " << lat.p50_us
        << ", \"p95_us\": " << lat.p95_us << ", \"p99_us\": " << lat.p99_us
-       << ", \"max_us\": " << lat.max_us;
+       << ", \"max_us\": " << lat.max_us
+       << ", \"rejected_overload\": " << rejected_overload
+       << ", \"rejected_deadline\": " << rejected_deadline
+       << ", \"queue_peak\": " << queue_peak;
 }
 
 }  // namespace
@@ -119,16 +172,24 @@ void AppendCounters(std::ostream* out, std::uint64_t queries,
 std::string InferenceServer::StatsJson() const {
   std::ostringstream out;
   out.precision(6);
+  // Aggregate queue_peak is the max across the per-model queues (peaks on
+  // different queues need not coincide in time, so a sum would overstate).
+  std::uint64_t peak = 0;
+  for (int m = 0; m < router_.size(); ++m) {
+    peak = std::max(peak, batcher_->queue_peak(static_cast<std::size_t>(m)));
+  }
   out << "{";
-  AppendCounters(&out, queries_served(), batches_run(), latency());
+  AppendCounters(&out, queries_served(), batches_run(), latency(),
+                 batcher_->rejected_overload(), batcher_->rejected_deadline(),
+                 peak);
   out << ", \"models\": [";
   for (int m = 0; m < router_.size(); ++m) {
+    const auto q = static_cast<std::size_t>(m);
     out << (m == 0 ? "" : ", ") << "{\"name\": \"" << router_.name(m)
         << "\", ";
-    AppendCounters(&out,
-                   batcher_->queries_served(static_cast<std::size_t>(m)),
-                   batcher_->batches_run(static_cast<std::size_t>(m)),
-                   latency(m));
+    AppendCounters(&out, batcher_->queries_served(q), batcher_->batches_run(q),
+                   latency(m), batcher_->rejected_overload(q),
+                   batcher_->rejected_deadline(q), batcher_->queue_peak(q));
     out << "}";
   }
   out << "]}";
@@ -142,15 +203,31 @@ namespace {
                            std::strerror(errno) + ")");
 }
 
-void SendAll(int fd, const std::string& data) {
+/// Writes the whole line, SIGPIPE-safe (MSG_NOSIGNAL — a vanished client
+/// must surface as a return code on this thread, not a process signal).
+/// Returns false when the connection is unusable: the peer went away, or
+/// the send timeout (ServeOptions.io_timeout_ms via SO_SNDTIMEO) expired
+/// because the client stopped reading — either way the caller closes
+/// rather than letting a stalled client pin this thread. A partial write
+/// (short send) is retried from where it stopped, never re-sent from the
+/// start, so the byte stream can tear but never duplicate.
+bool SendAll(int fd, const std::string& data) {
+  if (FaultInjector::Global().ShouldFire(Fault::kTornSocket)) {
+    // Chaos site: deliver half the line, then kill the connection — the
+    // mid-response client crash. The server side must just close cleanly.
+    ::send(fd, data.data(), data.size() / 2, MSG_NOSIGNAL);
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
+  }
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;  // signal — a retry, not an error
-    if (n <= 0) return;  // client went away; the connection loop will see EOF
+    if (n <= 0) return false;  // peer gone or SO_SNDTIMEO expired
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
 /// Serves one connection line-by-line. Query lines are pipelined through
@@ -166,18 +243,36 @@ void ServeConnection(InferenceServer* server, int fd) {
   std::deque<InFlight> pending;
   char chunk[4096];
 
-  auto flush_pending = [&] {
+  // Returns false when the socket died mid-flush; the remaining futures
+  // are still drained (the batcher resolves every accepted query — the
+  // responses just have no live reader), then the caller closes.
+  auto flush_pending = [&]() -> bool {
+    bool alive = true;
     while (!pending.empty()) {
       try {
         const ServeResponse response = pending.front().future.get();
-        SendAll(fd, FormatWireResponse(response) + "\n");
+        if (alive) {
+          alive = SendAll(fd, FormatWireResponse(response) + "\n");
+        }
+      } catch (const ServeError& e) {
+        // Structured rejection (deadline expired in queue): the coded
+        // line lets a pipelined client tell "retry" from "bug".
+        if (alive) {
+          alive = SendAll(fd, FormatWireError(pending.front().id, e.code(),
+                                              e.what()) +
+                                  "\n");
+        }
       } catch (const std::exception& e) {
         // Batch-handler failure: the error line must still carry the id
         // the client used, or a pipelined client cannot attribute it.
-        SendAll(fd, FormatWireError(pending.front().id, e.what()) + "\n");
+        if (alive) {
+          alive = SendAll(fd, FormatWireError(pending.front().id, e.what()) +
+                                  "\n");
+        }
       }
       pending.pop_front();
     }
+    return alive;
   };
 
   // A line (or partial line) past the size cap means the client lost
@@ -196,7 +291,13 @@ void ServeConnection(InferenceServer* server, int fd) {
 
   for (;;) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
+    if (n < 0 && errno == EINTR) continue;  // signal — retry the read
+    // SO_RCVTIMEO expired: the client sent nothing for io_timeout_ms. A
+    // stalled (or vanished-without-FIN) client must not pin this thread
+    // forever, so hang up; anything it already submitted was flushed at
+    // the last chunk boundary.
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n <= 0) break;  // EOF or a dead socket
     buffer.append(chunk, static_cast<std::size_t>(n));
 
     std::size_t start = 0;
@@ -230,6 +331,22 @@ void ServeConnection(InferenceServer* server, int fd) {
         SendAll(fd, server->ListModelsJson() + "\n");
         continue;
       }
+      if (command == WireCommand::kPublish) {
+        flush_pending();
+        try {
+          SendAll(fd, server->PublishFromFile(request.model, request.path) +
+                          "\n");
+        } catch (const std::exception& e) {
+          SendAll(fd, FormatWireError(request.id, e.what()) + "\n");
+        }
+        continue;
+      }
+      if (command == WireCommand::kDrain) {
+        flush_pending();
+        server->BeginDrain();
+        SendAll(fd, "{\"draining\": true}\n");
+        continue;
+      }
       if (command == WireCommand::kQuit) {
         flush_pending();
         ::close(fd);
@@ -238,6 +355,11 @@ void ServeConnection(InferenceServer* server, int fd) {
       try {
         const std::int64_t id = request.id;
         pending.push_back({id, server->QueryAsync(std::move(request))});
+      } catch (const ServeError& e) {
+        // Admission rejection (overloaded / draining): coded, fail-fast —
+        // the client learns to back off instead of hanging.
+        flush_pending();
+        SendAll(fd, FormatWireError(request.id, e.code(), e.what()) + "\n");
       } catch (const std::exception& e) {
         flush_pending();
         SendAll(fd, FormatWireError(request.id, e.what()) + "\n");
@@ -248,8 +370,12 @@ void ServeConnection(InferenceServer* server, int fd) {
       oversized(buffer);
       return;
     }
-    flush_pending();
+    if (!flush_pending()) break;  // socket died mid-response; stop reading
   }
+  // Accepted queries still in flight resolve before the thread exits —
+  // their client is gone, but the batcher contract (every future resolves)
+  // and the per-model counters stay truthful.
+  flush_pending();
   ::close(fd);
 }
 
@@ -291,10 +417,19 @@ int RunTcpServer(InferenceServer* server, int port,
     bound_port->store(actual_port, std::memory_order_release);
   }
 
+  // Per-connection read/write timeouts: a client that stalls (stops
+  // sending, or stops reading its responses) is disconnected after
+  // io_timeout_ms instead of pinning its connection thread forever.
+  const int io_timeout_ms = server->options().io_timeout_ms;
+  timeval io_timeout{};
+  io_timeout.tv_sec = io_timeout_ms / 1000;
+  io_timeout.tv_usec = (io_timeout_ms % 1000) * 1000;
+
   // Connection threads are detached and counted: a long-running server
   // must reclaim each thread's stack when its client disconnects, not
   // accumulate joinable handles until shutdown.
   auto active = std::make_shared<std::atomic<int>>(0);
+  int backoff_ms = 1;
   for (;;) {
     if (shutdown != nullptr && shutdown->load(std::memory_order_acquire)) {
       break;
@@ -303,7 +438,32 @@ int RunTcpServer(InferenceServer* server, int port,
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
     if (ready <= 0) continue;  // timeout (recheck shutdown) or EINTR
     const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      // Transient accept failures must never kill a serving process.
+      // A client that vanished mid-handshake or an interrupting signal
+      // costs nothing — try again immediately. Resource exhaustion
+      // (fd table full, kernel memory) backs off with doubling sleeps:
+      // retrying EMFILE in a tight loop is a busy-wait that starves the
+      // very connections whose close would free the descriptors.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        GCON_LOG(WARNING) << "serve: accept failed ("
+                          << std::strerror(errno) << "); backing off "
+                          << backoff_ms << "ms";
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, 1000);
+        continue;
+      }
+      GCON_LOG(ERROR) << "serve: accept failed (" << std::strerror(errno)
+                      << "); continuing";
+      continue;
+    }
+    backoff_ms = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
+                 sizeof(io_timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
+                 sizeof(io_timeout));
     active->fetch_add(1, std::memory_order_acq_rel);
     std::thread([server, fd, active] {
       ServeConnection(server, fd);

@@ -63,11 +63,38 @@ class InferenceServer {
   /// Validates, routes by request.model, and enqueues; the future resolves
   /// when the batch holding this query completes. Throws
   /// std::invalid_argument on an unknown model or a request its session
-  /// cannot serve.
+  /// cannot serve, and ServeError on overload (the model's queue is at
+  /// max_queue) or a draining server. A request carrying deadline_us may
+  /// resolve with ServeError(kDeadlineExceeded) instead of a value.
   std::future<ServeResponse> QueryAsync(ServeRequest request);
 
   /// Blocking convenience around QueryAsync.
   ServeResponse Query(ServeRequest request);
+
+  /// Atomic hot-swap: `session` becomes the new version of served model
+  /// `name` ("" = the default model). In-flight batches finish against the
+  /// version they snapshotted; later batches read the new one; no accepted
+  /// query is dropped. Throws std::invalid_argument on an unknown name or
+  /// a population (node count / feature dim) mismatch.
+  void Publish(const std::string& name, InferenceSession session);
+
+  /// The {"cmd": "publish"} verb: loads the artifact at `path` over the
+  /// target model's own shared serving graph, hot-swaps it in, and returns
+  /// the deterministic response line {"published": ..., metadata...}.
+  /// Throws (std::invalid_argument / std::runtime_error naming the path)
+  /// on an unknown model, unreadable artifact, or population mismatch.
+  std::string PublishFromFile(const std::string& name,
+                              const std::string& path);
+
+  /// Stops admitting queries — QueryAsync throws ServeError(kDraining) —
+  /// while everything already accepted keeps completing. The {"cmd":
+  /// "drain"} verb; the first half of Drain().
+  void BeginDrain();
+
+  /// Graceful shutdown: BeginDrain, flush every accepted query, join the
+  /// batch workers. `gcon_cli serve` calls this after SIGTERM so accepted
+  /// queries are never dropped. Idempotent.
+  void Drain();
 
   /// The default model's session (the only one for single-model servers).
   const InferenceSession& session() const { return router_.session(0); }
@@ -108,8 +135,14 @@ class InferenceServer {
 /// when given, so in-process callers (tests) can connect to an ephemeral
 /// port — then accepts until `shutdown` (when given) becomes true or the
 /// process dies; each connection is served line-by-line per serve/wire.h.
-/// Returns 0 on clean shutdown; throws std::runtime_error on socket setup
-/// failure (port in use, ...).
+/// Robustness: transient accept failures (EINTR/ECONNABORTED, and
+/// EMFILE/ENFILE-style exhaustion with doubling backoff) are logged and
+/// survived, never fatal; every accepted socket gets
+/// ServeOptions.io_timeout_ms read/write timeouts so a stalled client is
+/// disconnected instead of pinning its thread; writes are SIGPIPE-safe.
+/// Returns 0 on clean shutdown (callers then Drain() the server to flush
+/// accepted queries); throws std::runtime_error on socket setup failure
+/// (port in use, ...).
 int RunTcpServer(InferenceServer* server, int port,
                  const std::atomic<bool>* shutdown = nullptr,
                  std::atomic<int>* bound_port = nullptr);

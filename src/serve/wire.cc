@@ -225,6 +225,18 @@ bool ParseRequestBody(const std::string& line, WireCommand* command,
           *error = "key 'model' wants a quoted string";
           return false;
         }
+      } else if (key == "deadline_us") {
+        std::int64_t deadline = 0;
+        if (!scan.ReadInt(&deadline) || deadline <= 0) {
+          *error = "key 'deadline_us' wants a positive integer";
+          return false;
+        }
+        request->deadline_us = deadline;
+      } else if (key == "path") {
+        if (!scan.ReadString(&request->path)) {
+          *error = "key 'path' wants a quoted string";
+          return false;
+        }
       } else if (key == "cmd") {
         if (!scan.ReadString(&cmd)) {
           *error = "key 'cmd' wants a quoted string";
@@ -232,7 +244,8 @@ bool ParseRequestBody(const std::string& line, WireCommand* command,
         }
       } else {
         *error = "unknown key '" + key +
-                 "' (want id, node, edges, features, model, or cmd)";
+                 "' (want id, node, edges, features, model, deadline_us, "
+                 "path, or cmd)";
         return false;
       }
     } while (scan.Consume(','));
@@ -255,7 +268,24 @@ bool ParseRequestBody(const std::string& line, WireCommand* command,
       *command = WireCommand::kQuit;
       return true;
     }
-    *error = "unknown cmd '" + cmd + "' (want stats, list_models, or quit)";
+    if (cmd == "publish") {
+      if (request->path.empty()) {
+        *error = "cmd 'publish' needs a 'path' naming the artifact file";
+        return false;
+      }
+      *command = WireCommand::kPublish;
+      return true;
+    }
+    if (cmd == "drain") {
+      *command = WireCommand::kDrain;
+      return true;
+    }
+    *error = "unknown cmd '" + cmd +
+             "' (want stats, list_models, publish, drain, or quit)";
+    return false;
+  }
+  if (!request->path.empty()) {
+    *error = "key 'path' is only valid with cmd 'publish'";
     return false;
   }
   if (!have_node && !request->has_features) {
@@ -317,6 +347,14 @@ std::string FormatWireError(std::int64_t id, const std::string& error) {
   std::ostringstream out;
   out << "{\"id\": " << id << ", \"error\": \"" << EscapeJson(error)
       << "\"}";
+  return out.str();
+}
+
+std::string FormatWireError(std::int64_t id, ServeErrorCode code,
+                            const std::string& error) {
+  std::ostringstream out;
+  out << "{\"id\": " << id << ", \"code\": \"" << ServeErrorCodeName(code)
+      << "\", \"error\": \"" << EscapeJson(error) << "\"}";
   return out.str();
 }
 

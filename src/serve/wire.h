@@ -19,7 +19,20 @@
 // node's raw feature vector (length = the serving graph's feature dim) and
 // optionally its edges into the serving population; "node" must be absent.
 // "model" routes the query to a named artifact (multi-model serving);
-// absent means the default (first-listed) model.
+// absent means the default (first-listed) model. "deadline_us" (positive
+// integer) bounds how long the query may wait in queue: expired queries
+// are dropped before execution with a coded error line.
+//
+// Admin verbs beyond stats/list_models/quit: {"cmd": "publish", "model":
+// "name", "path": "/path/to.model"} hot-swaps a served artifact in place
+// (same population required; answers {"published": ...} with the new
+// metadata), and {"cmd": "drain"} stops admission while queued work
+// flushes (answers {"draining": true}; subsequent queries get a coded
+// "draining" rejection).
+//
+// Structured rejections (overload, deadline, draining) carry a machine-
+// readable code alongside the message: {"id": 7, "code": "overloaded",
+// "error": "..."} — see serve_error.h for the code vocabulary.
 //
 // A request the server cannot parse or serve yields an error line carrying
 // whatever id was recovered: {"id": 7, "error": "..."}. Recovery is
@@ -40,6 +53,7 @@
 #include <string>
 
 #include "serve/inference_session.h"
+#include "serve/serve_error.h"
 
 namespace gcon {
 
@@ -55,6 +69,8 @@ enum class WireCommand {
   kStats,       ///< {"cmd": "stats"} — counters + latency percentiles
   kListModels,  ///< {"cmd": "list_models"} — served models + metadata
   kQuit,        ///< {"cmd": "quit"} — close this connection
+  kPublish,     ///< {"cmd": "publish", "model": ..., "path": ...} hot-swap
+  kDrain,       ///< {"cmd": "drain"} — stop admitting, flush queued work
 };
 
 /// Parses one request line. Returns false and fills *error on malformed
@@ -75,6 +91,13 @@ std::string FormatWireResponse(const ServeResponse& response);
 
 /// Error line for a request that failed to parse or serve.
 std::string FormatWireError(std::int64_t id, const std::string& error);
+
+/// Coded error line for a structured serving rejection:
+/// {"id": I, "code": "overloaded", "error": "..."}. The code string is
+/// ServeErrorCodeName's spelling — a client branches on it (retry with
+/// backoff vs give up) without parsing the prose.
+std::string FormatWireError(std::int64_t id, ServeErrorCode code,
+                            const std::string& error);
 
 }  // namespace gcon
 

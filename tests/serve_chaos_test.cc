@@ -1,0 +1,528 @@
+// Chaos suite for the serving tier: every injected fault must yield a
+// structured error or a clean retry — never a crash, a hang, or wrong
+// bits. Each scenario arms one FaultInjector site (queue-full admission,
+// slow handler ahead of the deadline check, mid-batch handler throw, torn
+// TCP socket, publish-during-batch) and asserts the failure is contained:
+// the rejected query gets its coded ServeError, every *other* query gets
+// its bitwise-offline answer, and the process keeps serving afterwards.
+//
+// Also home to the Stop-racing-Submit and drain lifecycle tests — the
+// shutdown races the sanitizer matrix (TSan in particular) must see.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "linalg/ops.h"
+#include "serve_test_util.h"
+#include "serve/batcher.h"
+#include "serve/fault_injection.h"
+#include "serve/inference_session.h"
+#include "serve/serve_error.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace gcon {
+namespace {
+
+using serve_test::BitwiseEqualRow;
+using serve_test::SyntheticArtifact;
+using serve_test::TestGraph;
+
+/// Every chaos test disarms the global injector on the way out so a fault
+/// can never leak into a later test (the injector is process-wide).
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+// --- The injector itself ---------------------------------------------------
+
+TEST_F(ServeChaosTest, ArmFromSpecParsesCountsAndRejectsJunk) {
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_TRUE(injector.ArmFromSpec("queue_full:3,torn_socket"));
+  EXPECT_TRUE(injector.ShouldFire(Fault::kQueueFull));
+  EXPECT_TRUE(injector.ShouldFire(Fault::kQueueFull));
+  EXPECT_TRUE(injector.ShouldFire(Fault::kQueueFull));
+  EXPECT_FALSE(injector.ShouldFire(Fault::kQueueFull));
+  EXPECT_TRUE(injector.ShouldFire(Fault::kTornSocket));
+  EXPECT_FALSE(injector.ShouldFire(Fault::kTornSocket));
+  EXPECT_EQ(injector.fired(Fault::kQueueFull), 3u);
+  injector.Reset();
+  EXPECT_FALSE(injector.ArmFromSpec("no_such_fault"));
+  EXPECT_FALSE(injector.ArmFromSpec("queue_full:zero"));
+  EXPECT_FALSE(injector.ArmFromSpec("queue_full:0"));
+  // Disarmed again after Reset: the fast path must answer false.
+  injector.Reset();
+  EXPECT_FALSE(injector.ShouldFire(Fault::kQueueFull));
+  EXPECT_EQ(injector.fired(Fault::kQueueFull), 0u);
+}
+
+// --- Overload: structured rejection, clean retry ---------------------------
+
+TEST_F(ServeChaosTest, InjectedQueueFullRejectsWithCodeAndRetrySucceeds) {
+  const Graph graph = TestGraph();
+  const GconArtifact artifact = SyntheticArtifact(graph, {0, 2}, 8, 41);
+  const Matrix offline = artifact.Infer(graph);
+  InferenceServer server(InferenceSession(artifact, graph), ServeOptions{});
+
+  FaultInjector::Global().Arm(Fault::kQueueFull, 1);
+  ServeRequest request;
+  request.id = 1;
+  request.node = 3;
+  try {
+    server.Query(request);
+    FAIL() << "expected ServeError(kOverloaded)";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kOverloaded);
+    EXPECT_NE(std::string(e.what()).find("queue full"), std::string::npos);
+  }
+  // The fault fired once; the retry is a clean admit with offline bits.
+  const ServeResponse response = server.Query(request);
+  EXPECT_TRUE(BitwiseEqualRow(offline, 3, response.logits));
+  const std::string stats = server.StatsJson();
+  EXPECT_NE(stats.find("\"rejected_overload\": 1"), std::string::npos)
+      << stats;
+}
+
+TEST_F(ServeChaosTest, RealOverloadBoundedQueueShedsAndNeverHangs) {
+  // A handler gated shut while submissions flood in: the queue must stop
+  // at max_queue (shedding the rest with kOverloaded), and once the gate
+  // opens every accepted query must resolve.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  ServeOptions options;
+  options.threads = 1;
+  options.max_batch = 1;
+  options.max_queue = 4;
+  MicroBatcher batcher(options, [&](std::vector<PendingQuery*>& batch) {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    for (PendingQuery* p : batch) p->response.label = p->request.node;
+  });
+
+  std::vector<std::pair<int, std::future<ServeResponse>>> accepted;
+  int rejected = 0;
+  for (int i = 0; i < 32; ++i) {
+    ServeRequest request;
+    request.node = i;
+    try {
+      accepted.emplace_back(i, batcher.Submit(request));
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ServeErrorCode::kOverloaded);
+      ++rejected;
+    }
+  }
+  // At most max_queue pending + whatever the single worker already took.
+  EXPECT_LE(accepted.size(), 4u + 1u);
+  EXPECT_EQ(accepted.size() + static_cast<std::size_t>(rejected), 32u);
+  EXPECT_GE(rejected, 1);
+  EXPECT_LE(batcher.queue_peak(0), 4u);
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (auto& [node, future] : accepted) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "accepted query " << node << " hung";
+    EXPECT_EQ(future.get().label, node);
+  }
+  EXPECT_EQ(batcher.rejected_overload(0),
+            static_cast<std::uint64_t>(rejected));
+  batcher.Stop();
+}
+
+// --- Deadlines -------------------------------------------------------------
+
+TEST_F(ServeChaosTest, ExpiredDeadlineDropsBeforeExecutionWithCode) {
+  const Graph graph = TestGraph();
+  const GconArtifact artifact = SyntheticArtifact(graph, {0, 2}, 8, 43);
+  const Matrix offline = artifact.Infer(graph);
+  ServeOptions options;
+  options.threads = 1;
+  InferenceServer server(InferenceSession(artifact, graph), options);
+
+  // The slow-handler fault sleeps AFTER the batch is taken and BEFORE the
+  // deadline check, so a 1us deadline is deterministically expired by the
+  // time the worker looks at it.
+  FaultInjector::Global().set_slow_handler_us(20000);
+  FaultInjector::Global().Arm(Fault::kSlowHandler, 1);
+  ServeRequest doomed;
+  doomed.id = 1;
+  doomed.node = 5;
+  doomed.deadline_us = 1;
+  std::future<ServeResponse> future = server.QueryAsync(doomed);
+  try {
+    future.get();
+    FAIL() << "expected ServeError(kDeadlineExceeded)";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kDeadlineExceeded);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+  // A roomy deadline serves normally, bitwise.
+  ServeRequest fine;
+  fine.id = 2;
+  fine.node = 5;
+  fine.deadline_us = 30 * 1000 * 1000;
+  EXPECT_TRUE(BitwiseEqualRow(offline, 5, server.Query(fine).logits));
+  const std::string stats = server.StatsJson();
+  EXPECT_NE(stats.find("\"rejected_deadline\": 1"), std::string::npos)
+      << stats;
+}
+
+// --- Mid-batch handler failure ---------------------------------------------
+
+TEST_F(ServeChaosTest, MidBatchThrowFailsThatBatchOnlyAndServerRecovers) {
+  const Graph graph = TestGraph();
+  const GconArtifact artifact = SyntheticArtifact(graph, {0, 2}, 8, 47);
+  const Matrix offline = artifact.Infer(graph);
+  InferenceServer server(InferenceSession(artifact, graph), ServeOptions{});
+
+  FaultInjector::Global().Arm(Fault::kMidBatchThrow, 1);
+  ServeRequest request;
+  request.id = 1;
+  request.node = 2;
+  std::future<ServeResponse> poisoned = server.QueryAsync(request);
+  try {
+    poisoned.get();
+    FAIL() << "expected the injected handler failure";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("injected mid-batch fault"),
+              std::string::npos);
+  }
+  // The worker survived its handler throwing: the next query is served
+  // with the exact offline bits.
+  EXPECT_TRUE(BitwiseEqualRow(offline, 2, server.Query(request).logits));
+}
+
+// --- Hot-swap racing an in-flight batch ------------------------------------
+
+TEST_F(ServeChaosTest, PublishInsideBatchWindowYieldsOldOrNewBitsOnly) {
+  const Graph graph = TestGraph();
+  const GconArtifact artifact_a = SyntheticArtifact(graph, {0, 2}, 8, 53);
+  const GconArtifact artifact_b = SyntheticArtifact(graph, {2}, 8, 153);
+  const Matrix offline_a = artifact_a.Infer(graph);
+  const Matrix offline_b = artifact_b.Infer(graph);
+  ServeOptions options;
+  options.threads = 2;
+  options.max_batch = 8;
+  InferenceServer server(InferenceSession(artifact_a, graph), options);
+
+  // The callback runs inside the handler, right after the batch snapshots
+  // its session — the worst-case window for an atomic swap. That batch
+  // must finish on its snapshot (A); later batches read B.
+  FaultInjector::Global().SetCallback(Fault::kSwapDuringBatch, [&] {
+    server.Publish("", InferenceSession(artifact_b, graph));
+  });
+  FaultInjector::Global().Arm(Fault::kSwapDuringBatch, 1);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int q = 0; q < 64; ++q) {
+    ServeRequest request;
+    request.id = q;
+    request.node = q % graph.num_nodes();
+    futures.push_back(server.QueryAsync(request));
+  }
+  int from_a = 0;
+  int from_b = 0;
+  for (int q = 0; q < 64; ++q) {
+    const ServeResponse response =
+        futures[static_cast<std::size_t>(q)].get();
+    const auto row = static_cast<std::size_t>(q % graph.num_nodes());
+    if (BitwiseEqualRow(offline_a, row, response.logits)) {
+      ++from_a;
+    } else if (BitwiseEqualRow(offline_b, row, response.logits)) {
+      ++from_b;
+    } else {
+      ADD_FAILURE() << "query " << q
+                    << " matches neither version bitwise (torn swap)";
+    }
+  }
+  EXPECT_EQ(from_a + from_b, 64);
+  EXPECT_EQ(FaultInjector::Global().fired(Fault::kSwapDuringBatch), 1u);
+  // The swap completed: from here on, every answer is version B.
+  ServeRequest after;
+  after.node = 1;
+  EXPECT_TRUE(BitwiseEqualRow(offline_b, 1, server.Query(after).logits));
+}
+
+TEST_F(ServeChaosTest, PublishRejectsDifferentPopulation) {
+  const Graph graph = TestGraph(9);
+  const GconArtifact artifact = SyntheticArtifact(graph, {2}, 8, 57);
+  InferenceServer server(InferenceSession(artifact, graph), ServeOptions{});
+  // One extra node is a different population: every admitted request was
+  // validated against the served graph, so the swap must refuse.
+  const Graph bigger = serve_test::AugmentGraph(
+      graph, std::vector<double>(
+                 static_cast<std::size_t>(graph.feature_dim()), 0.0),
+      {});
+  const GconArtifact big_artifact = SyntheticArtifact(bigger, {2}, 8, 58);
+  try {
+    server.Publish("", InferenceSession(big_artifact, bigger));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("different population"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// --- Torn socket -----------------------------------------------------------
+
+/// Minimal blocking client for the TCP chaos scenarios.
+class RawClient {
+ public:
+  explicit RawClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+  void SendLine(const std::string& line) {
+    const std::string data = line + "\n";
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;  // chaos scenarios tolerate a dead socket
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+  /// Reads until EOF; returns everything received (possibly a torn line).
+  std::string ReadAll() {
+    std::string data;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return data;
+      data.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+  /// Next full line (without newline); "" on EOF.
+  std::string ReadLine() {
+    for (;;) {
+      const std::size_t eol = buffer_.find('\n');
+      if (eol != std::string::npos) {
+        const std::string line = buffer_.substr(0, eol);
+        buffer_.erase(0, eol + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+/// TCP fixture: one default model behind the real front end on an
+/// ephemeral port.
+class TcpChaos {
+ public:
+  TcpChaos(const GconArtifact& artifact, const Graph& graph,
+           ServeOptions options)
+      : server_(InferenceSession(artifact, graph), options) {
+    listener_ = std::thread(
+        [this] { RunTcpServer(&server_, /*port=*/0, &shutdown_, &port_); });
+    while (port_.load(std::memory_order_acquire) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ~TcpChaos() {
+    shutdown_.store(true, std::memory_order_release);
+    listener_.join();
+  }
+  int port() const { return port_.load(std::memory_order_acquire); }
+  InferenceServer& server() { return server_; }
+
+ private:
+  InferenceServer server_;
+  std::thread listener_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> port_{0};
+};
+
+TEST_F(ServeChaosTest, TornSocketMidResponseLeavesServerServing) {
+  const Graph graph = TestGraph();
+  const GconArtifact artifact = SyntheticArtifact(graph, {0, 2}, 8, 59);
+  const Matrix offline = artifact.Infer(graph);
+  ServeOptions options;
+  options.threads = 2;
+  TcpChaos tcp(artifact, graph, options);
+
+  FaultInjector::Global().Arm(Fault::kTornSocket, 1);
+  {
+    RawClient victim(tcp.port());
+    ASSERT_TRUE(victim.connected());
+    victim.SendLine("{\"id\": 1, \"node\": 4}");
+    // The injected tear delivers half the response line, then kills the
+    // connection: the client sees a strict prefix of the real answer, then
+    // EOF — and the server side must shrug, not crash or wedge.
+    ServeResponse expected;
+    expected.id = 1;
+    expected.node = 4;
+    expected.label = static_cast<int>(RowArgMax(offline, 4));
+    expected.logits = offline.RowCopy(4);
+    const std::string full = FormatWireResponse(expected) + "\n";
+    const std::string torn = victim.ReadAll();
+    EXPECT_LT(torn.size(), full.size());
+    EXPECT_EQ(full.compare(0, torn.size(), torn), 0)
+        << "torn bytes are not a prefix of the real response";
+    EXPECT_EQ(torn.find('\n'), std::string::npos) << torn;
+  }
+  // A fresh connection gets clean, bitwise-offline service.
+  RawClient survivor(tcp.port());
+  ASSERT_TRUE(survivor.connected());
+  survivor.SendLine("{\"id\": 2, \"node\": 4}");
+  const std::string line = survivor.ReadLine();
+  EXPECT_EQ(line.rfind("{\"id\": 2, \"node\": 4, ", 0), 0u) << line;
+}
+
+// --- Drain lifecycle -------------------------------------------------------
+
+TEST_F(ServeChaosTest, DrainFlushesAcceptedWorkAndRejectsNewWithCode) {
+  const Graph graph = TestGraph();
+  const GconArtifact artifact = SyntheticArtifact(graph, {0, 2}, 8, 61);
+  const Matrix offline = artifact.Infer(graph);
+  ServeOptions options;
+  options.threads = 2;
+  options.max_batch = 8;
+  InferenceServer server(InferenceSession(artifact, graph), options);
+
+  std::vector<std::future<ServeResponse>> accepted;
+  for (int q = 0; q < 24; ++q) {
+    ServeRequest request;
+    request.id = q;
+    request.node = q % graph.num_nodes();
+    accepted.push_back(server.QueryAsync(request));
+  }
+  server.BeginDrain();
+  ServeRequest late;
+  late.node = 0;
+  try {
+    server.Query(late);
+    FAIL() << "expected ServeError(kDraining)";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kDraining);
+  }
+  server.Drain();  // idempotent over BeginDrain; joins the workers
+  for (int q = 0; q < 24; ++q) {
+    const ServeResponse response =
+        accepted[static_cast<std::size_t>(q)].get();
+    EXPECT_TRUE(BitwiseEqualRow(
+        offline, static_cast<std::size_t>(q % graph.num_nodes()),
+        response.logits))
+        << "query " << q << " dropped or corrupted by drain";
+  }
+  EXPECT_EQ(server.queries_served(), 24u);
+}
+
+TEST_F(ServeChaosTest, StopRacingSubmitResolvesEveryFuture) {
+  // The shutdown race TSan must see: submitters hammer Submit while the
+  // batcher Stops underneath them. Every outcome is binary — a submission
+  // either throws ServeError(kDraining) at the call site or returns a
+  // future that RESOLVES. A future that never resolves (a dropped promise)
+  // hangs the wait below and fails the test.
+  for (int round = 0; round < 8; ++round) {
+    ServeOptions options;
+    options.threads = 2;
+    options.max_batch = 4;
+    auto batcher = std::make_unique<MicroBatcher>(
+        options, [](std::vector<PendingQuery*>& batch) {
+          for (PendingQuery* p : batch) {
+            p->response.label = p->request.node;
+          }
+        });
+    constexpr int kSubmitters = 4;
+    constexpr int kPerThread = 50;
+    std::mutex futures_mu;
+    std::vector<std::pair<int, std::future<ServeResponse>>> futures;
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          ServeRequest request;
+          request.node = t * kPerThread + i;
+          try {
+            std::future<ServeResponse> f = batcher->Submit(request);
+            std::lock_guard<std::mutex> lock(futures_mu);
+            futures.emplace_back(request.node, std::move(f));
+          } catch (const ServeError&) {
+            // Rejected at the door: fine, as long as it's structured.
+          }
+        }
+      });
+    }
+    // Stop lands at a different point in the submission storm each round
+    // (the yield count staggers it without wall-clock sleeps).
+    for (int spin = 0; spin < round * 16; ++spin) {
+      std::this_thread::yield();
+    }
+    batcher->Stop();
+    for (auto& t : submitters) t.join();
+    for (auto& [node, future] : futures) {
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready)
+          << "round " << round << ": a submitted future never resolved";
+      EXPECT_EQ(future.get().label, node);
+    }
+  }
+}
+
+// --- Whole-process spec arming (the GCON_FAULTS path) ----------------------
+
+TEST_F(ServeChaosTest, SpecArmedFaultBehavesLikeProgrammaticArm) {
+  const Graph graph = TestGraph();
+  const GconArtifact artifact = SyntheticArtifact(graph, {2}, 8, 67);
+  InferenceServer server(InferenceSession(artifact, graph), ServeOptions{});
+  // Same parser the GCON_FAULTS env var uses at first Global() touch.
+  ASSERT_TRUE(FaultInjector::Global().ArmFromSpec("queue_full:2"));
+  int rejected = 0;
+  for (int i = 0; i < 4; ++i) {
+    ServeRequest request;
+    request.node = 0;
+    try {
+      server.Query(request);
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ServeErrorCode::kOverloaded);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, 2);
+  EXPECT_EQ(FaultInjector::Global().fired(Fault::kQueueFull), 2u);
+}
+
+}  // namespace
+}  // namespace gcon

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <optional>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -31,7 +32,9 @@
 #include "nn/mlp.h"
 #include "rng/rng.h"
 #include "serve_test_util.h"
+#include "serve/fault_injection.h"
 #include "serve/inference_session.h"
+#include "serve/serve_error.h"
 #include "serve/server.h"
 #include "serve/wire.h"
 
@@ -156,6 +159,10 @@ class ServeConformanceTest : public ::testing::Test {
     ServeOptions options;
     options.threads = 2;
     options.max_batch = 8;
+    // Bounded queue so the 'overloaded' rejection golden can quote a fixed
+    // max_queue; large enough that no conformance stream ever fills it.
+    options.max_queue = 64;
+    FaultInjector::Global().Reset();
     server_ = std::make_unique<InferenceServer>(std::move(models), options);
     listener_ = std::thread([this] {
       RunTcpServer(server_.get(), /*port=*/0, &shutdown_, &port_);
@@ -169,6 +176,7 @@ class ServeConformanceTest : public ::testing::Test {
     shutdown_.store(true, std::memory_order_release);
     listener_.join();
     server_.reset();
+    FaultInjector::Global().Reset();
   }
 
   int port() const { return port_.load(std::memory_order_acquire); }
@@ -284,14 +292,16 @@ TEST_F(ServeConformanceTest, ErrorGoldensIncludingRecoveredIds) {
                    "(serving: default, alt)\"}"});
   cases.push_back({"unknown key", "{\"id\": 9, \"nodes\": 1}",
                    "{\"id\": 9, \"error\": \"unknown key 'nodes' (want id, "
-                   "node, edges, features, model, or cmd)\"}"});
+                   "node, edges, features, model, deadline_us, path, or "
+                   "cmd)\"}"});
   // Regression (the id used to be dropped): the defect precedes the "id"
   // key, but the error line must still echo id 12 so a pipelined client
   // can correlate the failure.
   cases.push_back({"id recovered past the defect",
                    "{\"nodes\": 1, \"id\": 12}",
                    "{\"id\": 12, \"error\": \"unknown key 'nodes' (want id, "
-                   "node, edges, features, model, or cmd)\"}"});
+                   "node, edges, features, model, deadline_us, path, or "
+                   "cmd)\"}"});
   cases.push_back({"not an object", "predict 5",
                    "{\"id\": 0, \"error\": \"request must be a {...} "
                    "object\"}"});
@@ -322,7 +332,15 @@ TEST_F(ServeConformanceTest, ErrorGoldensIncludingRecoveredIds) {
                    "or 'features', not both\"}"});
   cases.push_back({"unknown cmd", "{\"id\": 3, \"cmd\": \"reboot\"}",
                    "{\"id\": 3, \"error\": \"unknown cmd 'reboot' (want "
-                   "stats, list_models, or quit)\"}"});
+                   "stats, list_models, publish, drain, or quit)\"}"});
+  cases.push_back({"non-positive deadline",
+                   "{\"id\": 13, \"node\": 1, \"deadline_us\": 0}",
+                   "{\"id\": 13, \"error\": \"key 'deadline_us' wants a "
+                   "positive integer\"}"});
+  cases.push_back({"path without publish",
+                   "{\"id\": 14, \"node\": 1, \"path\": \"/tmp/x\"}",
+                   "{\"id\": 14, \"error\": \"key 'path' is only valid with "
+                   "cmd 'publish'\"}"});
   ReplayGoldens(&client, cases);
 }
 
@@ -362,7 +380,7 @@ TEST_F(ServeConformanceTest, PipelinedErrorFlushesAfterEarlierResponses) {
   EXPECT_EQ(client.ReadLine(), GoldenResponse(40, 7, offline_default_, 7));
   EXPECT_EQ(client.ReadLine(),
             "{\"id\": 41, \"error\": \"unknown key 'nodes' (want id, node, "
-            "edges, features, model, or cmd)\"}");
+            "edges, features, model, deadline_us, path, or cmd)\"}");
 }
 
 TEST_F(ServeConformanceTest, OversizedLineGetsErrorAndDisconnect) {
@@ -384,6 +402,171 @@ TEST_F(ServeConformanceTest, QuitClosesTheConnection) {
   EXPECT_EQ(client.ReadLine(), GoldenResponse(1, 0, offline_default_, 0));
   client.SendLine("{\"cmd\": \"quit\"}");
   EXPECT_TRUE(client.AtEof());
+}
+
+// --- Coded rejection goldens (overload / deadline / draining) --------------
+
+TEST(WireFormatLock, CodedErrorLineIsByteStable) {
+  EXPECT_EQ(FormatWireError(7, ServeErrorCode::kOverloaded, "full"),
+            "{\"id\": 7, \"code\": \"overloaded\", \"error\": \"full\"}");
+  EXPECT_EQ(
+      FormatWireError(8, ServeErrorCode::kDeadlineExceeded, "late"),
+      "{\"id\": 8, \"code\": \"deadline_exceeded\", \"error\": \"late\"}");
+  EXPECT_EQ(FormatWireError(9, ServeErrorCode::kDraining, "bye"),
+            "{\"id\": 9, \"code\": \"draining\", \"error\": \"bye\"}");
+}
+
+TEST_F(ServeConformanceTest, OverloadedRejectionGoldenAndCleanRetry) {
+  WireClient client(port());
+  // The injected queue-full makes the admission path deterministic; the
+  // golden locks the exact coded line a throttled client must parse.
+  FaultInjector::Global().Arm(Fault::kQueueFull, 1);
+  ReplayGoldens(
+      &client,
+      {{"overloaded rejection", "{\"id\": 50, \"node\": 2}",
+        "{\"id\": 50, \"code\": \"overloaded\", \"error\": \"model queue "
+        "full (max_queue=64); retry later\"}"},
+       // The rejection is per-submission, not per-connection: the retry on
+       // the same socket is admitted and served bitwise.
+       {"retry after overload", "{\"id\": 50, \"node\": 2}",
+        GoldenResponse(50, 2, offline_default_, 2)}});
+  // The rejection shows up in the stats counters a monitor scrapes.
+  client.SendLine("{\"cmd\": \"stats\"}");
+  const std::string stats = client.ReadLine();
+  EXPECT_NE(stats.find("\"rejected_overload\": 1"), std::string::npos)
+      << stats;
+}
+
+TEST_F(ServeConformanceTest, DeadlineExceededRejectionGolden) {
+  WireClient client(port());
+  // The slow-handler fault sleeps after the batch is taken and before the
+  // deadline check, so a 1us deadline is deterministically expired.
+  FaultInjector::Global().Arm(Fault::kSlowHandler, 1);
+  ReplayGoldens(
+      &client,
+      {{"deadline exceeded in queue",
+        "{\"id\": 51, \"node\": 3, \"deadline_us\": 1}",
+        "{\"id\": 51, \"code\": \"deadline_exceeded\", \"error\": \"query "
+        "deadline expired before execution\"}"},
+       // A roomy deadline changes nothing about the served bits.
+       {"roomy deadline serves normally",
+        "{\"id\": 52, \"node\": 3, \"deadline_us\": 30000000}",
+        GoldenResponse(52, 3, offline_default_, 3)}});
+}
+
+TEST_F(ServeConformanceTest, DrainGoldensThenRejectsWithCode) {
+  WireClient client(port());
+  ReplayGoldens(
+      &client,
+      {{"query before drain", "{\"id\": 60, \"node\": 1}",
+        GoldenResponse(60, 1, offline_default_, 1)},
+       {"drain verb", "{\"cmd\": \"drain\"}", "{\"draining\": true}"},
+       {"query after drain is refused with the coded line",
+        "{\"id\": 61, \"node\": 1}",
+        "{\"id\": 61, \"code\": \"draining\", \"error\": \"server draining; "
+        "not accepting new queries\"}"}});
+}
+
+// --- Publish (atomic hot-swap) goldens -------------------------------------
+
+TEST_F(ServeConformanceTest, PublishGoldensAndSwappedModelServesNewBits) {
+  // A third artifact on disk — the thing an offline training run hands the
+  // live server.
+  const GconArtifact next = SyntheticArtifact(graph_, {0, 2}, 8, 202);
+  const Matrix offline_next = next.Infer(graph_);
+  const std::string path = "/tmp/gcon_conformance_publish.model";
+  SaveModel(next, path);
+
+  WireClient client(port());
+  std::ostringstream published;
+  published << "{\"published\": \"alt\", \"nodes\": " << graph_.num_nodes()
+            << ", \"classes\": " << graph_.num_classes()
+            << ", \"features\": " << graph_.feature_dim()
+            << ", \"per_query\": true}";
+  std::vector<GoldenCase> cases;
+  cases.push_back({"alt before swap",
+                   "{\"id\": 70, \"model\": \"alt\", \"node\": 12}",
+                   GoldenResponse(70, 12, offline_alt_, 12)});
+  cases.push_back({"publish over alt",
+                   "{\"id\": 71, \"cmd\": \"publish\", \"model\": \"alt\", "
+                   "\"path\": \"" + path + "\"}",
+                   published.str()});
+  cases.push_back({"alt after swap serves the new artifact's bits",
+                   "{\"id\": 72, \"model\": \"alt\", \"node\": 12}",
+                   GoldenResponse(72, 12, offline_next, 12)});
+  // The default model is untouched by the alt swap.
+  cases.push_back({"default unaffected", "{\"id\": 73, \"node\": 12}",
+                   GoldenResponse(73, 12, offline_default_, 12)});
+  cases.push_back({"publish unknown model",
+                   "{\"id\": 74, \"cmd\": \"publish\", \"model\": \"nope\", "
+                   "\"path\": \"" + path + "\"}",
+                   "{\"id\": 74, \"error\": \"unknown model 'nope' "
+                   "(serving: default, alt)\"}"});
+  cases.push_back({"publish without path",
+                   "{\"id\": 75, \"cmd\": \"publish\", \"model\": \"alt\"}",
+                   "{\"id\": 75, \"error\": \"cmd 'publish' needs a 'path' "
+                   "naming the artifact file\"}"});
+  ReplayGoldens(&client, cases);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeConformanceTest, HotSwapDuringLiveStreamDropsNothing) {
+  // The tentpole acceptance scenario: a client streams pipelined queries
+  // while a publish lands on a second connection mid-stream. Every one of
+  // the streamed queries must be answered (zero drops), and every answer
+  // must be bitwise EITHER the old version's offline row or the new one's
+  // — a torn swap would produce a row matching neither.
+  const GconArtifact next = SyntheticArtifact(graph_, {2}, 8, 203);
+  const Matrix offline_next = next.Infer(graph_);
+  const std::string path = "/tmp/gcon_conformance_swap.model";
+  SaveModel(next, path);
+
+  // Stays under the fixture's max_queue=64 so admission control (tested
+  // elsewhere) cannot shed part of this stream — here every query must be
+  // accepted, or the zero-drop assertion is vacuous.
+  constexpr int kQueries = 60;
+  const int n = graph_.num_nodes();
+  WireClient streamer(port());
+  std::ostringstream burst;
+  for (int q = 0; q < kQueries; ++q) {
+    burst << "{\"id\": " << (100 + q) << ", \"model\": \"alt\", \"node\": "
+          << (q % n) << "}\n";
+  }
+  streamer.Send(burst.str());
+
+  WireClient publisher(port());
+  publisher.SendLine("{\"cmd\": \"publish\", \"model\": \"alt\", \"path\": "
+                     "\"" + path + "\"}");
+
+  int from_old = 0;
+  int from_new = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    const std::string line = streamer.ReadLine();
+    ASSERT_FALSE(line.empty()) << "response " << q
+                               << " dropped across the swap window";
+    const int node = q % n;
+    const std::string old_golden =
+        GoldenResponse(100 + q, node, offline_alt_, node);
+    const std::string new_golden =
+        GoldenResponse(100 + q, node, offline_next, node);
+    if (line == old_golden) {
+      ++from_old;
+    } else if (line == new_golden) {
+      ++from_new;
+    } else {
+      RecordMismatch({"hot-swap stream", "(streamed)", old_golden}, line);
+      ADD_FAILURE() << "response " << q
+                    << " matches neither version bitwise: " << line;
+    }
+  }
+  EXPECT_EQ(from_old + from_new, kQueries);
+  // The publish response confirms the swap itself succeeded...
+  EXPECT_EQ(publisher.ReadLine().rfind("{\"published\": \"alt\", ", 0), 0u);
+  // ...and once it has, a fresh query is the new version, bitwise.
+  streamer.SendLine("{\"id\": 999, \"model\": \"alt\", \"node\": 0}");
+  EXPECT_EQ(streamer.ReadLine(),
+            GoldenResponse(999, 0, offline_next, 0));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -38,6 +38,9 @@ const std::vector<std::string>& Corpus() {
       "{\"cmd\": \"stats\"}",
       "{\"cmd\": \"list_models\"}",
       "{\"cmd\": \"quit\"}",
+      "{\"cmd\": \"drain\"}",
+      "{\"cmd\": \"publish\", \"model\": \"alt\", \"path\": \"/tmp/a.model\"}",
+      "{\"id\": 5, \"node\": 2, \"deadline_us\": 2500}",
       "{\"id\": -3, \"node\": 0}",
       "{}",
   };
@@ -53,12 +56,19 @@ void CheckParseProperties(const std::string& line) {
   if (ok) {
     if (command == WireCommand::kQuery) {
       // The parser's acceptance contract: a query line named a node or
-      // carried features (range/length checks are the session's job).
+      // carried features (range/length checks are the session's job), and
+      // any deadline it carries is positive.
       EXPECT_TRUE(request.node != -1 || request.has_features) << line;
+      EXPECT_GE(request.deadline_us, 0) << line;
     } else {
       EXPECT_TRUE(command == WireCommand::kStats ||
                   command == WireCommand::kListModels ||
-                  command == WireCommand::kQuit)
+                  command == WireCommand::kQuit ||
+                  command == WireCommand::kPublish ||
+                  command == WireCommand::kDrain)
+          << line;
+      // publish is the only verb that may carry a path, and must.
+      EXPECT_EQ(command == WireCommand::kPublish, !request.path.empty())
           << line;
     }
   } else {
@@ -83,6 +93,8 @@ void CheckParseProperties(const std::string& line) {
     EXPECT_EQ(request2.edges, request.edges);
     EXPECT_EQ(request2.features, request.features);
     EXPECT_EQ(request2.model, request.model);
+    EXPECT_EQ(request2.deadline_us, request.deadline_us);
+    EXPECT_EQ(request2.path, request.path);
   }
 
   // The id recovery scan must accept anything without crashing.
@@ -114,6 +126,7 @@ TEST(ServeWireFuzz, StructuredGarbageStaysRejectedWithReasons) {
       "{",    "}",        "[",       "]",      ":",       ",",
       "\"id\"", "\"node\"", "\"edges\"", "\"features\"", "\"model\"",
       "\"cmd\"", "\"stats\"", "\"quit\"", "\"list_models\"", "\"\"",
+      "\"deadline_us\"", "\"path\"", "\"publish\"", "\"drain\"",
       "0",    "1",        "-7",      "3.5",    "1e9",     "nan",
       " ",    "\t",       "\"x",     "x\"",    "null",    "--",
   };

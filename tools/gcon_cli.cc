@@ -24,6 +24,7 @@
 //            against the stored labels when --labels is given).
 //   serve    --graph=in.graph --model=in.model [--model name=path]...
 //            [--port=7070] [--threads=1] [--max_batch=32] [--max_wait_us=200]
+//            [--max_queue=4096] [--io_timeout_ms=30000]
 //            Loads each artifact once and serves node-prediction queries
 //            over TCP (127.0.0.1, newline-delimited requests; see
 //            serve/wire.h) through the shared micro-batching engine.
@@ -33,14 +34,22 @@
 //            for "default=path". Queries may carry an unseen node's raw
 //            feature vector ("features") for inductive serving. Responses
 //            are bitwise identical to `predict` on the same (augmented)
-//            graph. Runs until killed; --port=0 picks an ephemeral port
-//            (printed).
+//            graph. --max_queue bounds each model's pending queue (0 =
+//            unbounded): a full queue rejects with a coded "overloaded"
+//            error line instead of growing without bound, and stalled
+//            clients are disconnected after --io_timeout_ms. Runs until
+//            SIGTERM/SIGINT, then drains: admission stops, every accepted
+//            query is answered, the workers exit. The "publish" wire verb
+//            hot-swaps a served artifact in place without a restart.
+//            --port=0 picks an ephemeral port (printed).
 //   stats    --graph=in.graph
 //            Prints dataset statistics (the Table II columns).
 //   generate --dataset=cora_ml --scale=0.25 --out=out.graph [--seed=1]
 //            Writes a synthetic dataset to a graph file.
 //
 // Exit codes: 0 success, 2 usage error.
+#include <atomic>
+#include <csignal>
 #include <exception>
 #include <iostream>
 #include <stdexcept>
@@ -90,6 +99,10 @@ const std::map<std::string, std::string> kSpec = {
     {"port", "TCP port to serve on; 0 = ephemeral (serve, default 7070)"},
     {"max_batch", "queries coalesced per batch (serve, default 32)"},
     {"max_wait_us", "batch coalescing deadline in us (serve, default 200)"},
+    {"max_queue", "per-model pending-queue cap; full queues reject with "
+                  "'overloaded'; 0 = unbounded (serve, default 4096)"},
+    {"io_timeout_ms", "per-connection read/write timeout; stalled clients "
+                      "are disconnected (serve, default 30000)"},
 };
 
 std::string MethodListing() {
@@ -273,6 +286,16 @@ std::vector<ServeModelFlag> ParseServeModels(
   return models;
 }
 
+// SIGTERM/SIGINT flip this flag; the accept loop polls it every 200ms and
+// returns, after which CmdServe drains the server (admission closed, every
+// accepted query answered) before exiting. An atomic<bool> store is
+// async-signal-safe; anything fancier in a handler is not.
+std::atomic<bool> g_serve_shutdown{false};
+
+void HandleServeSignal(int /*signum*/) {
+  g_serve_shutdown.store(true, std::memory_order_release);
+}
+
 int CmdServe(const gcon::Flags& flags) {
   const std::string graph_path = flags.GetString("graph", "");
   const std::vector<std::string> model_flags = flags.GetList("model");
@@ -286,6 +309,12 @@ int CmdServe(const gcon::Flags& flags) {
   options.threads = flags.GetPositiveInt("threads", 1);
   options.max_batch = flags.GetPositiveInt("max_batch", 32);
   options.max_wait_us = flags.GetPositiveInt("max_wait_us", 200);
+  options.max_queue = flags.GetInt("max_queue", 4096);
+  options.io_timeout_ms = flags.GetPositiveInt("io_timeout_ms", 30000);
+  if (options.max_queue < 0) {
+    std::cerr << "serve: --max_queue must be >= 0 (0 = unbounded)\n";
+    return 2;
+  }
   const int port = flags.GetInt("port", 7070);
   if (port < 0 || port > 65535) {
     std::cerr << "serve: --port must be in [0, 65535]\n";
@@ -304,7 +333,15 @@ int CmdServe(const gcon::Flags& flags) {
                                         model.path, graph)});
     }
     gcon::InferenceServer server(std::move(models), options);
-    return gcon::RunTcpServer(&server, port);
+    std::signal(SIGTERM, HandleServeSignal);
+    std::signal(SIGINT, HandleServeSignal);
+    const int rc = gcon::RunTcpServer(&server, port, &g_serve_shutdown);
+    // Graceful drain: every query accepted before the signal resolves
+    // before the process exits — zero dropped accepted queries.
+    server.Drain();
+    std::cout << "serve: drained cleanly (" << server.queries_served()
+              << " queries served)" << std::endl;
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "serve: " << e.what() << "\n";
     return 2;
