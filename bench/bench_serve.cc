@@ -33,6 +33,20 @@
 //              directly comparable to the batched run at the same query
 //              count; 'rejected' counts the shed attempts.
 //
+// and a transport A/B over the REAL TCP front end (the in-process modes
+// above bypass the socket and codec entirely):
+//
+//   json_tcp / binary_tcp: the same feature-carrying workload served over
+//              loopback TCP through each wire codec. Request bytes are
+//              pre-encoded outside the timed loop, and the feature values
+//              are rounded through f32 first so both transports carry
+//              bit-identical doubles — the ratio isolates codec + copy
+//              cost, which is exactly what the zero-copy binary path
+//              (serve/frame.h: f32 payloads widened in place into the
+//              GEMM panel, no strtod, no intermediate vector) exists to
+//              delete. Runs at queries/5 — the JSON side moves ~20x the
+//              bytes and the ratio converges fast.
+//
 // Emits one JSON object on stdout:
 //
 //   {"workload": ..., "nodes": ..., "clients": ..., "queries": ...,
@@ -42,25 +56,36 @@
 //    "batched": {...}, "routed": {...}, "inductive": {...},
 //    "overload": {"offered_qps": ..., "qps": ..., "accepted": ...,
 //                 "rejected": ..., percentiles...},
+//    "json_tcp": {"qps": ...}, "binary_tcp": {"qps": ...},
 //    "speedup": batched_qps / single_qps,
 //    "routing_cost": routed_qps / batched_qps,
-//    "degradation_ratio": overload_accepted_qps / batched_qps}
+//    "degradation_ratio": overload_accepted_qps / batched_qps,
+//    "binary_vs_json_qps": binary_tcp_qps / json_tcp_qps}
 //
 // CI gates speedup >= 2x, routing_cost >= 0.9 (multi-model routing may
-// cost < 10% QPS vs single-model), and degradation_ratio >= 0.9 (with
+// cost < 10% QPS vs single-model), degradation_ratio >= 0.9 (with
 // demand at 2x the queue bound the server must keep >= 90% of its
-// unloaded throughput — rejections are cheap, collapse is not;
+// unloaded throughput — rejections are cheap, collapse is not), and
+// binary_vs_json_qps >= 2.0 (the zero-copy binary transport must at
+// least double feature-carrying QPS over the text codec;
 // tools/bench_serve_json.sh -> BENCH_serve.json). The artifacts are synthesized (fresh Glorot encoder,
 // random Θ) — serving throughput does not care about model quality, and
 // skipping training keeps the bench honest about what it measures.
 //
 // GCON_SERVE_BENCH_QUERIES overrides --queries (CI sizing knob).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <iostream>
+#include <locale>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -71,6 +96,7 @@
 #include "graph/datasets.h"
 #include "nn/mlp.h"
 #include "rng/rng.h"
+#include "serve/frame.h"
 #include "serve/inference_session.h"
 #include "serve/serve_error.h"
 #include "serve/server.h"
@@ -279,6 +305,196 @@ OverloadResult RunOverloadMode(const gcon::GconArtifact& artifact,
   return result;
 }
 
+// --- transport A/B over the real TCP front end ------------------------------
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  // Both transports pipeline small-ish writes; Nagle would meter them
+  // identically but noisily. Turn it off so the ratio measures codecs.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool SendAll(int fd, const char* src, std::size_t len) {
+  while (len > 0) {
+    const ssize_t sent = ::send(fd, src, len, 0);
+    if (sent <= 0) return false;
+    src += sent;
+    len -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool RecvAll(int fd, char* dst, std::size_t want) {
+  while (want > 0) {
+    const ssize_t got = ::recv(fd, dst, want, 0);
+    if (got <= 0) return false;
+    dst += got;
+    want -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+/// The JSON spelling of a feature-carrying request, 17-digit doubles (the
+/// same round-trip precision the server answers with).
+std::string JsonRequestLine(const gcon::ServeRequest& request) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out.precision(17);
+  out << "{\"id\": " << request.id << ", \"features\": [";
+  for (std::size_t j = 0; j < request.features.size(); ++j) {
+    out << (j == 0 ? "" : ", ") << request.features[j];
+  }
+  out << "], \"edges\": [";
+  for (std::size_t j = 0; j < request.edges.size(); ++j) {
+    out << (j == 0 ? "" : ", ") << request.edges[j];
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+struct TransportResult {
+  double qps = 0.0;
+  bool ok = false;  ///< every connection served its full share
+};
+
+/// One closed-loop run over the REAL TCP front end with the given wire
+/// codec. Requests are pre-encoded (one blob per distinct query node,
+/// cycled by every client) so the timed loop is socket + server codec +
+/// serve cost; feature values are f32-rounded so both codecs carry
+/// bit-identical doubles.
+TransportResult RunTransportMode(const gcon::GconArtifact& artifact,
+                                 const gcon::Graph& graph,
+                                 gcon::ServeOptions options, int clients,
+                                 int queries, int window, bool binary) {
+  std::vector<gcon::ModelRouter::NamedModel> models;
+  models.push_back({"default", gcon::InferenceSession(artifact, graph)});
+  gcon::InferenceServer server(std::move(models), options);
+  std::atomic<bool> shutdown{false};
+  std::atomic<int> port{0};
+  std::thread listener([&] {
+    gcon::RunTcpServer(&server, /*port=*/0, &shutdown, &port);
+  });
+  while (port.load(std::memory_order_acquire) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const int distinct = std::min(graph.num_nodes(), 64);
+  std::vector<std::string> blobs;
+  blobs.reserve(static_cast<std::size_t>(distinct));
+  for (int v = 0; v < distinct; ++v) {
+    gcon::ServeRequest request;
+    request.id = v;
+    request.has_features = true;
+    request.features.resize(
+        static_cast<std::size_t>(graph.feature_dim()));
+    const double* row =
+        graph.features().RowPtr(static_cast<std::size_t>(v));
+    for (std::size_t j = 0; j < request.features.size(); ++j) {
+      request.features[j] =
+          static_cast<double>(static_cast<float>(row[j]));
+    }
+    request.has_edges = true;
+    request.edges = graph.Neighbors(v);
+    blobs.push_back(binary ? gcon::EncodeRequestFrame(request)
+                           : JsonRequestLine(request));
+  }
+
+  std::atomic<int> failures{0};
+  auto client_loop = [&](int first, int count) {
+    const int fd = ConnectLoopback(port.load(std::memory_order_acquire));
+    if (fd < 0) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    bool healthy = true;
+    std::string line_buffer;
+    std::size_t line_start = 0;
+    std::vector<char> payload;
+    char header[gcon::kFrameHelloBytes];
+    if (binary) {
+      const std::string hello = gcon::EncodeHello(gcon::kFrameVersion);
+      healthy = SendAll(fd, hello.data(), hello.size()) &&
+                RecvAll(fd, header, gcon::kFrameHelloBytes);
+    }
+    auto read_one = [&]() -> bool {
+      if (binary) {
+        if (!RecvAll(fd, header, gcon::kFrameHeaderBytes)) return false;
+        std::uint32_t len = 0;
+        for (int b = 3; b >= 0; --b) {
+          len = (len << 8) | static_cast<unsigned char>(header[b]);
+        }
+        payload.resize(len);
+        return RecvAll(fd, payload.data(), len);
+      }
+      for (;;) {
+        const std::size_t eol = line_buffer.find('\n', line_start);
+        if (eol != std::string::npos) {
+          line_start = eol + 1;
+          if (line_start > (1u << 20)) {
+            line_buffer.erase(0, line_start);
+            line_start = 0;
+          }
+          return true;
+        }
+        char chunk[65536];
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got <= 0) return false;
+        line_buffer.append(chunk, static_cast<std::size_t>(got));
+      }
+    };
+    int inflight = 0;
+    for (int q = 0; healthy && q < count; ++q) {
+      const std::string& blob =
+          blobs[static_cast<std::size_t>(first + q) % blobs.size()];
+      healthy = SendAll(fd, blob.data(), blob.size());
+      if (healthy && ++inflight >= window) {
+        healthy = read_one();
+        --inflight;
+      }
+    }
+    while (healthy && inflight > 0) {
+      healthy = read_one();
+      --inflight;
+    }
+    if (!healthy) failures.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+  };
+
+  // Warm the workers and the connection path, then time a clean slate.
+  client_loop(0, 100);
+  server.ResetStats();
+
+  const int per_client = queries / clients;
+  gcon::Timer timer;
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back(client_loop, c * per_client, per_client);
+  }
+  for (auto& t : client_threads) t.join();
+  const double seconds = timer.Seconds();
+
+  shutdown.store(true, std::memory_order_release);
+  listener.join();
+
+  TransportResult result;
+  result.ok = failures.load() == 0;
+  result.qps = static_cast<double>(per_client * clients) / seconds;
+  return result;
+}
+
 void AppendMode(std::ostringstream* out, const char* key,
                 const ModeResult& result) {
   *out << "\"" << key << "\": {\"qps\": " << result.qps
@@ -352,6 +568,23 @@ int main(int argc, char** argv) {
       RunMode(one, graph, batched, clients, queries, window,
               QueryShape::kInductive);
   PrintMode("inductive (features)    ", inductive_result);
+  // The text codec moves ~20x the bytes per feature-carrying query, so a
+  // fraction of the in-process query count converges the TCP ratio fast.
+  const int tcp_queries = std::max(clients, queries / 5);
+  const TransportResult json_tcp =
+      RunTransportMode(artifact, graph, batched, clients, tcp_queries,
+                       window, /*binary=*/false);
+  std::cerr << "  json over TCP           : "
+            << static_cast<long>(json_tcp.qps) << " QPS (inductive, "
+            << tcp_queries << " queries)"
+            << (json_tcp.ok ? "" : "  [CONNECTION FAILURES]") << "\n";
+  const TransportResult binary_tcp =
+      RunTransportMode(artifact, graph, batched, clients, tcp_queries,
+                       window, /*binary=*/true);
+  std::cerr << "  binary frames over TCP  : "
+            << static_cast<long>(binary_tcp.qps) << " QPS (inductive, "
+            << tcp_queries << " queries)"
+            << (binary_tcp.ok ? "" : "  [CONNECTION FAILURES]") << "\n";
   const OverloadResult overload_result = RunOverloadMode(
       artifact, graph, batched, clients, queries, /*window=*/2 * window);
   std::cerr << "  overload (2x demand)    : "
@@ -370,10 +603,16 @@ int main(int argc, char** argv) {
       batched_result.qps > 0.0
           ? overload_result.accepted_qps / batched_result.qps
           : 0.0;
+  const double binary_vs_json =
+      (json_tcp.ok && binary_tcp.ok && json_tcp.qps > 0.0)
+          ? binary_tcp.qps / json_tcp.qps
+          : 0.0;
   std::cerr << "  micro-batching speedup: " << speedup
             << "x; 2-model routing keeps " << routing_cost * 100.0
             << "% of single-model QPS; 2x overload keeps "
-            << degradation_ratio * 100.0 << "% goodput\n";
+            << degradation_ratio * 100.0
+            << "% goodput; binary transport is " << binary_vs_json
+            << "x JSON on feature-carrying queries\n";
 
   std::ostringstream out;
   out.precision(6);
@@ -397,9 +636,14 @@ int main(int argc, char** argv) {
       << ", \"p50_us\": " << overload_result.latency.p50_us
       << ", \"p95_us\": " << overload_result.latency.p95_us
       << ", \"p99_us\": " << overload_result.latency.p99_us << "}"
+      << ", \"json_tcp\": {\"qps\": " << json_tcp.qps
+      << ", \"queries\": " << tcp_queries << "}"
+      << ", \"binary_tcp\": {\"qps\": " << binary_tcp.qps
+      << ", \"queries\": " << tcp_queries << "}"
       << ", \"speedup\": " << speedup
       << ", \"routing_cost\": " << routing_cost
-      << ", \"degradation_ratio\": " << degradation_ratio << "}";
+      << ", \"degradation_ratio\": " << degradation_ratio
+      << ", \"binary_vs_json_qps\": " << binary_vs_json << "}";
   std::cout << out.str() << std::endl;
   return 0;
 }

@@ -136,9 +136,9 @@ void InferenceSession::ValidateRequest(const ServeRequest& request) const {
       throw std::invalid_argument(
           "a query carries either 'node' or 'features', not both");
     }
-    if (static_cast<int>(request.features.size()) != graph_->feature_dim()) {
+    if (static_cast<int>(request.feature_count()) != graph_->feature_dim()) {
       throw std::invalid_argument(
-          "query features have " + std::to_string(request.features.size()) +
+          "query features have " + std::to_string(request.feature_count()) +
           " values but the encoder expects " +
           std::to_string(graph_->feature_dim()));
     }
@@ -285,11 +285,24 @@ Matrix InferenceSession::QueryBatch(
   Matrix encoded_queries;
   if (inductive > 0) {
     Matrix raw(inductive, static_cast<std::size_t>(graph_->feature_dim()));
+    const std::size_t dim = static_cast<std::size_t>(graph_->feature_dim());
     std::size_t q = 0;
     for (const ServeRequest* request : batch) {
       if (!request->has_features) continue;
-      std::copy(request->features.begin(), request->features.end(),
-                raw.RowPtr(q++));
+      double* dst = raw.RowPtr(q++);
+      if (request->feature_view.data != nullptr) {
+        // Binary transport: widen the pinned f32 frame payload straight
+        // into the packed panel. f32 -> f64 is exact, so this row is
+        // bitwise the row an offline Infer sees for the same (widened)
+        // feature values — the zero-copy path changes where the bytes
+        // come from, never what they are.
+        const float* src = request->feature_view.data;
+        for (std::size_t j = 0; j < dim; ++j) {
+          dst[j] = static_cast<double>(src[j]);
+        }
+      } else {
+        std::copy(request->features.begin(), request->features.end(), dst);
+      }
     }
     encoded_queries = artifact_->encoder.HiddenRepresentation(
         raw, artifact_->encoder.num_layers() - 1);

@@ -80,12 +80,40 @@ struct ServeRequest {
   /// new node's edge list into the serving population (default: isolated).
   bool has_edges = false;
   std::vector<int> edges;
-  /// When true, this is an inductive query: `features` is the raw feature
-  /// vector of a node *not in the serving graph* (length = the graph's
-  /// feature dim) and `node` must stay -1. Served as if the graph had been
-  /// augmented with this node at index n.
+  /// When true, this is an inductive query: the request carries the raw
+  /// feature vector of a node *not in the serving graph* (length = the
+  /// graph's feature dim) and `node` must stay -1. Served as if the graph
+  /// had been augmented with this node at index n. The payload lives in
+  /// exactly one of two places:
+  ///   * `features` — an owning f64 vector (JSON transport, in-process
+  ///     callers); or
+  ///   * `feature_view` — a non-owning f32 span into a binary transport
+  ///     frame buffer (serve/frame.h), valid only while `frame_pin` holds
+  ///     the buffer alive. The serve path widens these f32 values straight
+  ///     into the gathered GEMM panel — no intermediate copy.
   bool has_features = false;
   std::vector<double> features;
+  /// Non-owning view of a little-endian f32 feature payload inside a
+  /// binary frame buffer. `data` non-null means the view is authoritative
+  /// and `features` stays empty.
+  struct FeatureView {
+    const float* data = nullptr;
+    std::uint32_t count = 0;
+  };
+  FeatureView feature_view;
+  /// Keeps `feature_view`'s frame buffer alive for the request's whole
+  /// lifetime. The request is moved — connection loop, batcher queue,
+  /// batch execution — so the pin travels with it and releases only when
+  /// the batch's futures have been resolved and the PendingQuery destroyed
+  /// (batch-lifetime safety: the buffer outlives the GEMM gather).
+  std::shared_ptr<const void> frame_pin;
+
+  /// Feature count regardless of representation (view or owning vector).
+  std::size_t feature_count() const {
+    return feature_view.data != nullptr
+               ? static_cast<std::size_t>(feature_view.count)
+               : features.size();
+  }
   /// Optional deadline, microseconds from submission; 0 = none. A query
   /// still queued when its deadline passes is dropped by the batch worker
   /// immediately before the GEMM and fails with a structured

@@ -1,6 +1,7 @@
 #include "serve/router.h"
 
 #include <cctype>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -98,6 +99,7 @@ std::string ModelRouter::NameList() const {
 
 std::string ModelRouter::ListModelsJson() const {
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // wire bytes are locale-invariant
   out << "{\"models\": [";
   for (int i = 0; i < size(); ++i) {
     const std::string& slot_name = name(i);

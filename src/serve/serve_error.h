@@ -17,11 +17,14 @@
 namespace gcon {
 
 /// Machine-readable rejection categories. Names (ServeErrorCodeName) are
-/// wire-visible and locked by the conformance goldens.
+/// wire-visible and locked by the conformance goldens; the binary frame
+/// transport carries the same categories as fixed integers
+/// (serve/frame.h WireErrorCode), locked by the binary goldens.
 enum class ServeErrorCode {
   kOverloaded,        ///< per-model pending queue at max_queue; retry later
   kDeadlineExceeded,  ///< the query's deadline_us passed before execution
   kDraining,          ///< server is draining/stopped; no new queries
+  kMalformedFrame,    ///< binary frame violated the codec (bounds, dims, …)
 };
 
 inline const char* ServeErrorCodeName(ServeErrorCode code) {
@@ -32,6 +35,8 @@ inline const char* ServeErrorCodeName(ServeErrorCode code) {
       return "deadline_exceeded";
     case ServeErrorCode::kDraining:
       return "draining";
+    case ServeErrorCode::kMalformedFrame:
+      return "malformed_frame";
   }
   return "unknown";
 }

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <deque>
 #include <iostream>
+#include <locale>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -23,6 +24,7 @@
 #include "common/logging.h"
 #include "linalg/ops.h"
 #include "serve/fault_injection.h"
+#include "serve/frame.h"
 #include "serve/serve_error.h"
 #include "serve/wire.h"
 
@@ -110,6 +112,7 @@ std::string InferenceServer::PublishFromFile(const std::string& name,
   InferenceSession incoming = InferenceSession::FromFile(
       path, router_.SessionRef(index)->graph_ptr());
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // wire bytes are locale-invariant
   out << "{\"published\": \"" << target
       << "\", \"nodes\": " << incoming.num_nodes()
       << ", \"classes\": " << incoming.num_classes()
@@ -171,6 +174,7 @@ void AppendCounters(std::ostream* out, std::uint64_t queries,
 
 std::string InferenceServer::StatsJson() const {
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // wire bytes are locale-invariant
   out.precision(6);
   // Aggregate queue_peak is the max across the per-model queues (peaks on
   // different queues need not coincide in time, so a sum would overstate).
@@ -234,7 +238,7 @@ bool SendAll(int fd, const std::string& data) {
 /// QueryAsync (so a burst from one client coalesces into one batch);
 /// responses flush in request order at chunk boundaries and before any
 /// admin/quit/error line, preserving the ordered-wire contract.
-void ServeConnection(InferenceServer* server, int fd) {
+void ServeJsonConnection(InferenceServer* server, int fd) {
   std::string buffer;
   struct InFlight {
     std::int64_t id;
@@ -379,6 +383,239 @@ void ServeConnection(InferenceServer* server, int fd) {
   ::close(fd);
 }
 
+/// Reads exactly `want` bytes. False on EOF, a dead socket, or an expired
+/// SO_RCVTIMEO (a stalled client mustn't pin the thread — same policy as
+/// the JSON loop).
+bool RecvAll(int fd, char* dst, std::size_t want) {
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::recv(fd, dst + got, want - got, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Per-connection pool of frame payload buffers. Zero-copy pins
+/// (ServeRequest::frame_pin) keep a buffer's use_count above 1 for as long
+/// as any in-flight query views it; Take() reuses only buffers whose every
+/// pin has been released, so a recycled buffer can never be overwritten
+/// under a pending batch. Bounded: a pipelining client cycles through at
+/// most kPoolSize resident buffers before new frames allocate afresh.
+class FramePool {
+ public:
+  std::shared_ptr<std::vector<char>> Take(std::size_t size) {
+    for (auto& buffer : pool_) {
+      if (buffer.use_count() == 1) {
+        buffer->resize(size);
+        return buffer;
+      }
+    }
+    auto buffer = std::make_shared<std::vector<char>>(size);
+    if (pool_.size() < kPoolSize) pool_.push_back(buffer);
+    return buffer;
+  }
+
+ private:
+  static constexpr std::size_t kPoolSize = 8;
+  std::vector<std::shared_ptr<std::vector<char>>> pool_;
+};
+
+/// Serves one binary-framed connection (serve/frame.h). Mirrors the JSON
+/// loop's discipline — pipelined QueryAsync, responses flushed in request
+/// order before any admin/error frame and whenever the client has nothing
+/// more buffered — but the request path is zero-copy: each frame payload
+/// lands in a pooled buffer, the parsed request's feature view points into
+/// it, and the buffer stays pinned until the query's batch resolves.
+void ServeBinaryConnection(InferenceServer* server, int fd) {
+  // Hello handshake: validate the client's magic+version, answer with the
+  // negotiated version (min of the two — a newer client speaks our dialect,
+  // an older server never has to).
+  char hello[kFrameHelloBytes];
+  if (!RecvAll(fd, hello, sizeof(hello))) {
+    ::close(fd);
+    return;
+  }
+  std::uint16_t client_version = 0;
+  std::string error;
+  if (!ParseHello(hello, sizeof(hello), &client_version, &error)) {
+    SendAll(fd, EncodeErrorFrame(
+                    0, WireErrorCode(ServeErrorCode::kMalformedFrame), error));
+    ::close(fd);
+    return;
+  }
+  const std::uint16_t version = std::min(client_version, kFrameVersion);
+  if (!SendAll(fd, EncodeHello(version))) {
+    ::close(fd);
+    return;
+  }
+
+  struct InFlight {
+    std::int64_t id;
+    std::future<ServeResponse> future;
+  };
+  std::deque<InFlight> pending;
+
+  auto flush_pending = [&]() -> bool {
+    bool alive = true;
+    while (!pending.empty()) {
+      try {
+        const ServeResponse response = pending.front().future.get();
+        if (alive) alive = SendAll(fd, EncodeResponseFrame(response));
+      } catch (const ServeError& e) {
+        if (alive) {
+          alive = SendAll(fd, EncodeErrorFrame(pending.front().id,
+                                               WireErrorCode(e.code()),
+                                               e.what()));
+        }
+      } catch (const std::exception& e) {
+        if (alive) {
+          alive = SendAll(fd,
+                          EncodeErrorFrame(pending.front().id, 0, e.what()));
+        }
+      }
+      pending.pop_front();
+    }
+    return alive;
+  };
+
+  FramePool pool;
+  const std::uint32_t malformed =
+      WireErrorCode(ServeErrorCode::kMalformedFrame);
+  for (;;) {
+    // Before blocking on the next header, flush accepted work if the
+    // client has nothing more buffered — a pipelining client that is now
+    // waiting for answers must get them, while a mid-burst client keeps
+    // coalescing into the current batch window.
+    if (!pending.empty()) {
+      char probe;
+      const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (n == 0) break;  // EOF
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (!flush_pending()) break;
+        } else if (errno != EINTR) {
+          break;
+        }
+      }
+    }
+
+    char header[kFrameHeaderBytes];
+    if (!RecvAll(fd, header, sizeof(header))) break;
+    FrameType type;
+    std::uint32_t payload_len = 0;
+    if (!ParseFrameHeader(header, &type, &payload_len, &error)) {
+      // Hostile length or unknown type: framing is lost (or the peer
+      // speaks a future dialect) — report and hang up, nothing to resync.
+      flush_pending();
+      SendAll(fd, EncodeErrorFrame(0, malformed, error));
+      ::close(fd);
+      return;
+    }
+    const std::shared_ptr<std::vector<char>> buffer = pool.Take(payload_len);
+    if (payload_len > 0 && !RecvAll(fd, buffer->data(), payload_len)) break;
+
+    if (type == FrameType::kRequest) {
+      ServeRequest request;
+      if (!ParseRequestPayload(buffer->data(), payload_len, &request,
+                               &error)) {
+        // Payload defect with framing intact: coded error (with whatever
+        // id offset 0..7 yielded), keep serving — the binary analogue of a
+        // malformed JSON line.
+        flush_pending();
+        SendAll(fd, EncodeErrorFrame(request.id, malformed, error));
+        continue;
+      }
+      // Pin the frame buffer for the request's lifetime: the feature view
+      // aliases it, and the batcher may not run the GEMM until long after
+      // the next frame overwrites... nothing — Take() skips pinned
+      // buffers, so the gather always reads the bytes this frame carried.
+      request.frame_pin =
+          std::shared_ptr<const void>(buffer, buffer->data());
+      const std::int64_t id = request.id;
+      try {
+        pending.push_back({id, server->QueryAsync(std::move(request))});
+      } catch (const ServeError& e) {
+        flush_pending();
+        SendAll(fd, EncodeErrorFrame(id, WireErrorCode(e.code()), e.what()));
+      } catch (const std::exception& e) {
+        flush_pending();
+        SendAll(fd, EncodeErrorFrame(id, 0, e.what()));
+      }
+      continue;
+    }
+    if (type == FrameType::kAdmin) {
+      AdminVerb verb;
+      std::string model, path;
+      if (!ParseAdminPayload(buffer->data(), payload_len, &verb, &model,
+                             &path, &error)) {
+        flush_pending();
+        SendAll(fd, EncodeErrorFrame(0, malformed, error));
+        continue;
+      }
+      flush_pending();
+      switch (verb) {
+        case AdminVerb::kStats:
+          SendAll(fd, EncodeAdminReplyFrame(server->StatsJson()));
+          break;
+        case AdminVerb::kListModels:
+          SendAll(fd, EncodeAdminReplyFrame(server->ListModelsJson()));
+          break;
+        case AdminVerb::kPublish:
+          try {
+            SendAll(fd, EncodeAdminReplyFrame(
+                            server->PublishFromFile(model, path)));
+          } catch (const std::exception& e) {
+            SendAll(fd, EncodeErrorFrame(0, 0, e.what()));
+          }
+          break;
+        case AdminVerb::kDrain:
+          server->BeginDrain();
+          SendAll(fd, EncodeAdminReplyFrame("{\"draining\": true}"));
+          break;
+        case AdminVerb::kQuit:
+          ::close(fd);
+          return;
+      }
+      continue;
+    }
+    // A server-to-client frame type arriving at the server is a protocol
+    // violation, not a recoverable payload defect — hang up.
+    flush_pending();
+    SendAll(fd, EncodeErrorFrame(
+                    0, malformed,
+                    "unexpected frame type (clients send requests and "
+                    "admin frames only)"));
+    ::close(fd);
+    return;
+  }
+  flush_pending();
+  ::close(fd);
+}
+
+/// Transport dispatch: peek the first byte without consuming it. A binary
+/// client's hello starts with kFramePreamble (0xC0), which no JSON line
+/// can; everything else flows to the newline-JSON loop untouched.
+void ServeConnection(InferenceServer* server, int fd) {
+  unsigned char first = 0;
+  for (;;) {
+    const ssize_t n =
+        ::recv(fd, reinterpret_cast<char*>(&first), 1, MSG_PEEK);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {  // EOF, dead socket, or SO_RCVTIMEO before any byte
+      ::close(fd);
+      return;
+    }
+    break;
+  }
+  if (first == kFramePreamble) {
+    ServeBinaryConnection(server, fd);
+  } else {
+    ServeJsonConnection(server, fd);
+  }
+}
+
 }  // namespace
 
 int RunTcpServer(InferenceServer* server, int port,
@@ -412,7 +649,8 @@ int RunTcpServer(InferenceServer* server, int port,
             << server->session().num_classes() << " classes, threads="
             << server->options().threads << " max_batch="
             << server->options().max_batch << " max_wait_us="
-            << server->options().max_wait_us << ")" << std::endl;
+            << server->options().max_wait_us
+            << ", transports=json+binary)" << std::endl;
   if (bound_port != nullptr) {
     bound_port->store(actual_port, std::memory_order_release);
   }

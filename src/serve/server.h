@@ -22,10 +22,14 @@
 // GEMM. Responses are bitwise identical to one-at-a-time offline inference,
 // so clients cannot observe how their queries were batched or routed.
 //
-// The TCP front end is deliberately thin: newline-delimited wire requests
-// (serve/wire.h) on a loopback-bound listener, one thread per connection,
-// each line answered in order via QueryAsync so pipelined client batches
-// coalesce in the batcher. It exists to demonstrate and smoke-test the
+// The TCP front end is deliberately thin: a loopback-bound listener, one
+// thread per connection, each request answered in order via QueryAsync so
+// pipelined client batches coalesce in the batcher. Two transports share
+// the port, negotiated from the connection's first byte: newline-JSON
+// (serve/wire.h — the admin/debug transport) and length-prefixed binary
+// frames (serve/frame.h — the fast path, whose f32 feature payloads are
+// gathered into the GEMM panel without a copy or a text round-trip). Both
+// answer identical bits. It exists to demonstrate and smoke-test the
 // deployment story end to end, not to be a production RPC stack.
 #ifndef GCON_SERVE_SERVER_H_
 #define GCON_SERVE_SERVER_H_
@@ -134,7 +138,9 @@ class InferenceServer {
 /// the socket is listening — and publishes the bound port to *bound_port
 /// when given, so in-process callers (tests) can connect to an ephemeral
 /// port — then accepts until `shutdown` (when given) becomes true or the
-/// process dies; each connection is served line-by-line per serve/wire.h.
+/// process dies. Each connection's transport is sniffed from its first
+/// byte: 0xC0 starts the binary frame handshake (serve/frame.h), anything
+/// else is served line-by-line per serve/wire.h.
 /// Robustness: transient accept failures (EINTR/ECONNABORTED, and
 /// EMFILE/ENFILE-style exhaustion with doubling backoff) are logged and
 /// survived, never fatal; every accepted socket gets

@@ -1,15 +1,70 @@
 #include "serve/wire.h"
 
 #include <cctype>
-#include <cerrno>
-#include <cmath>
+#include <charconv>
 #include <cstdint>
-#include <cstdlib>
 #include <limits>
+#include <locale>
 #include <sstream>
+#include <system_error>
 
 namespace gcon {
 namespace {
+
+/// Classifies a token std::from_chars flagged result_out_of_range, which
+/// it reports identically for overflow (> DBL_MAX) and total underflow
+/// (below the smallest subnormal), leaving the value unmodified. The two
+/// get opposite treatment — underflow is a valid feature value (±0),
+/// overflow is a defect — so decide from the token itself: an out-of-range
+/// magnitude is >= 1e309 or < 1e-323, hence the sign of (decimal exponent
+/// of the leading significant digit + explicit exponent) is decisive.
+/// `first..last` is already validated as a number (sign stripped).
+bool TokenUnderflows(const char* first, const char* last) {
+  const char* p = first;
+  if (p < last && (*p == '-' || *p == '+')) ++p;
+  long lead = 0;
+  bool seen_sig = false;
+  long int_digits = 0;
+  long sig_pos_int = -1;
+  while (p < last && *p >= '0' && *p <= '9') {
+    if (!seen_sig && *p != '0') {
+      seen_sig = true;
+      sig_pos_int = int_digits;
+    }
+    ++int_digits;
+    ++p;
+  }
+  if (p < last && *p == '.') {
+    ++p;
+    long frac_index = 0;
+    while (p < last && *p >= '0' && *p <= '9') {
+      if (!seen_sig && *p != '0') {
+        seen_sig = true;
+        lead = -(frac_index + 1);
+      }
+      ++frac_index;
+      ++p;
+    }
+  }
+  if (sig_pos_int >= 0) lead = int_digits - 1 - sig_pos_int;
+  long exponent = 0;
+  if (p < last && (*p == 'e' || *p == 'E')) {
+    ++p;
+    bool negative = false;
+    if (p < last && (*p == '-' || *p == '+')) {
+      negative = (*p == '-');
+      ++p;
+    }
+    while (p < last && *p >= '0' && *p <= '9') {
+      // Clamp: only the sign of the sum matters, and `lead` is bounded by
+      // the token length, so saturating at a million keeps it exact.
+      if (exponent < 1000000) exponent = exponent * 10 + (*p - '0');
+      ++p;
+    }
+    if (negative) exponent = -exponent;
+  }
+  return lead + exponent < 0;
+}
 
 /// Minimal recursive-descent scanner over one wire line.
 class LineScanner {
@@ -76,7 +131,14 @@ class LineScanner {
 
   /// JSON number: optional sign, digits, optional fraction/exponent. The
   /// token is cut at the first character no number can contain and handed
-  /// to strtod, so "1e" or "." fail instead of half-parsing.
+  /// to std::from_chars, so "1e" or "." fail instead of half-parsing.
+  /// from_chars, unlike the strtod it replaced, never consults LC_NUMERIC:
+  /// a host process in a comma-decimal locale (de_DE) parses "0.5"
+  /// identically to the C locale (regression-tested in the conformance
+  /// suite). Range policy is unchanged from the strtod era: magnitudes
+  /// below the smallest subnormal parse as signed zero (underflow is a
+  /// valid feature value; 1e-310 still parses to the exact subnormal),
+  /// magnitudes no double can hold reject.
   bool ReadDouble(double* out) {
     SkipWs();
     const std::size_t start = pos_;
@@ -90,15 +152,20 @@ class LineScanner {
       }
     }
     if (pos_ == start) return false;
-    const std::string token = line_.substr(start, pos_ - start);
-    char* end = nullptr;
-    errno = 0;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return false;
-    // ERANGE alone is not a defect: strtod sets it for *underflow* too
-    // (1e-310 parses to the correct subnormal), and such values are valid
-    // features. Only overflow — a magnitude no double can hold — rejects.
-    if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    const char* first = line_.data() + start;
+    const char* last = line_.data() + pos_;
+    // strtod accepted an explicit leading '+'; from_chars does not.
+    // Strip it so every line the old parser served stays valid.
+    if (first < last && *first == '+') ++first;
+    double value = 0.0;
+    const std::from_chars_result result = std::from_chars(first, last, value);
+    if (result.ptr != last) return false;
+    if (result.ec == std::errc::result_out_of_range) {
+      // One errc covers overflow AND underflow (value untouched either
+      // way); the token's own magnitude tells them apart.
+      if (!TokenUnderflows(first, last)) return false;
+      value = (*first == '-') ? -0.0 : 0.0;
+    } else if (result.ec != std::errc()) {
       return false;
     }
     *out = value;
@@ -333,6 +400,11 @@ bool ParseWireRequest(const std::string& line, WireCommand* command,
 
 std::string FormatWireResponse(const ServeResponse& response) {
   std::ostringstream out;
+  // Wire bytes must not depend on the host process's global locale (which
+  // ostringstream captures at construction): pin the classic "C" locale so
+  // an embedder calling std::locale::global(de_DE) cannot turn logits into
+  // "0,5" or group integer digits.
+  out.imbue(std::locale::classic());
   out.precision(17);
   out << "{\"id\": " << response.id << ", \"node\": " << response.node
       << ", \"label\": " << response.label << ", \"logits\": [";
@@ -345,6 +417,7 @@ std::string FormatWireResponse(const ServeResponse& response) {
 
 std::string FormatWireError(std::int64_t id, const std::string& error) {
   std::ostringstream out;
+  out.imbue(std::locale::classic());
   out << "{\"id\": " << id << ", \"error\": \"" << EscapeJson(error)
       << "\"}";
   return out.str();
@@ -353,6 +426,7 @@ std::string FormatWireError(std::int64_t id, const std::string& error) {
 std::string FormatWireError(std::int64_t id, ServeErrorCode code,
                             const std::string& error) {
   std::ostringstream out;
+  out.imbue(std::locale::classic());
   out << "{\"id\": " << id << ", \"code\": \"" << ServeErrorCodeName(code)
       << "\", \"error\": \"" << EscapeJson(error) << "\"}";
   return out.str();

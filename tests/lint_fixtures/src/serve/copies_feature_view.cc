@@ -1,0 +1,32 @@
+// Fixture: seeded serve-zero-copy violation — materializing the
+// non-owning feature_view into an owning vector reintroduces the
+// per-query copy the binary transport deleted.
+#include <vector>
+
+struct FeatureView {
+  const float* data = nullptr;
+  unsigned count = 0;
+};
+
+struct Request {
+  FeatureView feature_view;
+  std::vector<double> features;
+};
+
+void Widen(Request* request) {
+  // VIOLATION: deep copy of the view payload.
+  request->features.assign(request->feature_view.data,
+                           request->feature_view.data +
+                               request->feature_view.count);
+  // NOT a violation (commented out):
+  // std::copy(request->feature_view.data, end, dst);
+}
+
+void GatherInPlace(const Request& request, double* dst) {
+  // NOT a violation: the sanctioned in-place widening — reads the view
+  // element-wise straight into the packed panel, no copy API.
+  const float* src = request.feature_view.data;
+  for (unsigned j = 0; j < request.feature_view.count; ++j) {
+    dst[j] = static_cast<double>(src[j]);
+  }
+}

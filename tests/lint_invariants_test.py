@@ -34,6 +34,7 @@ EXPECTED = [
     ("baseline-layering", "bench/uses_baseline.cc"),
     ("gemm-reference", "src/core/uses_gemm_ref.cc"),
     ("nolint-reason", "src/core/bad_nolint.cc"),
+    ("serve-zero-copy", "src/serve/copies_feature_view.cc"),
 ]
 
 
@@ -78,6 +79,13 @@ class LintInvariantsTest(unittest.TestCase):
         self.assertEqual(len(rand_hits), 4)
         for f in rand_hits:
             self.assertNotIn("decoy", f["text"])
+        # The zero-copy fixture seeds exactly one live deep copy; its
+        # in-place-widening twin and the commented-out std::copy must not
+        # count.
+        zero_copy_hits = [f for f in payload["findings"]
+                          if f["rule"] == "serve-zero-copy"]
+        self.assertEqual(len(zero_copy_hits), 1)
+        self.assertIn("assign", zero_copy_hits[0]["text"])
 
     def test_waiver_suppresses_exactly_one_finding(self):
         waivers = write_waivers([{
@@ -119,6 +127,9 @@ class LintInvariantsTest(unittest.TestCase):
              "contains": "GemmReference(a, b, c, n)", "reason": "fixture"},
             {"rule": "nolint-reason", "file": "src/core/bad_nolint.cc",
              "contains": "return x + 1;", "reason": "fixture"},
+            {"rule": "serve-zero-copy",
+             "file": "src/serve/copies_feature_view.cc",
+             "contains": "features.assign", "reason": "fixture"},
         ]
         waivers = write_waivers(entries)
         try:

@@ -18,9 +18,11 @@
 
 #include <atomic>
 #include <optional>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -567,6 +569,116 @@ TEST_F(ServeConformanceTest, HotSwapDuringLiveStreamDropsNothing) {
   EXPECT_EQ(streamer.ReadLine(),
             GoldenResponse(999, 0, offline_next, 0));
   std::remove(path.c_str());
+}
+
+// --- Number parsing: range policy + locale independence --------------------
+
+/// Parses a query line and exposes its features (the double-parsing path).
+bool ParseFeatures(const std::string& line, ServeRequest* request) {
+  WireCommand command;
+  std::string error;
+  return ParseWireRequest(line, &command, request, &error);
+}
+
+TEST(WireParseLock, RangePolicyMatchesStrtodEra) {
+  // The std::from_chars migration must not move the goalposts the strtod
+  // era set: subnormals parse exactly, magnitudes below the smallest
+  // subnormal are values (signed zero), not defects; only overflow — a
+  // magnitude no double can hold — rejects. from_chars reports both range
+  // failures with one errc, so this lock is what keeps the
+  // underflow/overflow split honest.
+  ServeRequest request;
+  ASSERT_TRUE(ParseFeatures("{\"id\": 1, \"features\": [1e-310]}", &request));
+  EXPECT_EQ(request.features[0], 1e-310);
+
+  ASSERT_TRUE(ParseFeatures("{\"id\": 1, \"features\": [1e-999, -1e-999]}",
+                            &request));
+  EXPECT_EQ(request.features[0], 0.0);
+  EXPECT_FALSE(std::signbit(request.features[0]));
+  EXPECT_EQ(request.features[1], 0.0);
+  EXPECT_TRUE(std::signbit(request.features[1]));
+
+  // Underflow spelled without an exponent underflows all the same.
+  const std::string tiny =
+      "{\"id\": 1, \"features\": [0." + std::string(400, '0') + "1]}";
+  ASSERT_TRUE(ParseFeatures(tiny, &request));
+  EXPECT_EQ(request.features[0], 0.0);
+
+  EXPECT_FALSE(ParseFeatures("{\"id\": 1, \"features\": [1e999]}", &request));
+  EXPECT_FALSE(ParseFeatures("{\"id\": 1, \"features\": [-1e999]}", &request));
+
+  // strtod-era spellings stay valid: explicit leading '+', '+' exponents.
+  ASSERT_TRUE(
+      ParseFeatures("{\"id\": 1, \"features\": [+1.5, 1e+2]}", &request));
+  EXPECT_EQ(request.features[0], 1.5);
+  EXPECT_EQ(request.features[1], 100.0);
+
+  // Half-parses still fail whole.
+  EXPECT_FALSE(ParseFeatures("{\"id\": 1, \"features\": [1e]}", &request));
+  EXPECT_FALSE(ParseFeatures("{\"id\": 1, \"features\": [.]}", &request));
+}
+
+/// Flips the global C++ locale (which also flips the C locale glibc's
+/// strtod consulted) for one scope.
+class ScopedGlobalLocale {
+ public:
+  explicit ScopedGlobalLocale(const std::locale& loc)
+      : previous_(std::locale::global(loc)) {}
+  ~ScopedGlobalLocale() { std::locale::global(previous_); }
+
+ private:
+  std::locale previous_;
+};
+
+TEST(WireLocale, ParsingAndFormattingIgnoreCommaDecimalLocale) {
+  // The defect this guards against: strtod honors LC_NUMERIC, so a host
+  // process in a de_DE-style locale (decimal comma) would stop parsing
+  // "0.5" at the '.' and reject the line, and un-imbued ostringstreams
+  // would print "0,5" back. from_chars + classic-imbued formatters make
+  // the wire locale-invariant; this test proves it by flipping the global
+  // locale and byte-comparing both directions against the C-locale bytes.
+  const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                              "fr_FR.UTF-8", "fr_FR.utf8", "it_IT.UTF-8"};
+  std::optional<std::locale> comma_locale;
+  for (const char* name : candidates) {
+    try {
+      comma_locale.emplace(name);
+      break;
+    } catch (const std::runtime_error&) {
+      // not installed on this host; try the next spelling
+    }
+  }
+  if (!comma_locale.has_value()) {
+    GTEST_SKIP() << "no comma-decimal locale installed on this host";
+  }
+
+  const std::string request_line =
+      "{\"id\": 7, \"features\": [0.5, -2.25e1, 1234.0625]}";
+  ServeResponse response;
+  response.id = 7;
+  response.node = 1234567;  // integer grouping would corrupt this
+  response.label = 1;
+  response.logits = {0.5, -22.5, 1234.0625};
+
+  ServeRequest reference_request;
+  ASSERT_TRUE(ParseFeatures(request_line, &reference_request));
+  const std::string reference_response = FormatWireResponse(response);
+  const std::string reference_error =
+      FormatWireError(1234567, ServeErrorCode::kOverloaded, "full");
+
+  {
+    ScopedGlobalLocale flipped(*comma_locale);
+    ServeRequest request;
+    ASSERT_TRUE(ParseFeatures(request_line, &request))
+        << "comma-decimal locale broke feature parsing";
+    ASSERT_EQ(request.features.size(), reference_request.features.size());
+    for (std::size_t j = 0; j < request.features.size(); ++j) {
+      EXPECT_EQ(request.features[j], reference_request.features[j]);
+    }
+    EXPECT_EQ(FormatWireResponse(response), reference_response);
+    EXPECT_EQ(FormatWireError(1234567, ServeErrorCode::kOverloaded, "full"),
+              reference_error);
+  }
 }
 
 }  // namespace

@@ -26,8 +26,13 @@
 //            [--port=7070] [--threads=1] [--max_batch=32] [--max_wait_us=200]
 //            [--max_queue=4096] [--io_timeout_ms=30000]
 //            Loads each artifact once and serves node-prediction queries
-//            over TCP (127.0.0.1, newline-delimited requests; see
-//            serve/wire.h) through the shared micro-batching engine.
+//            over TCP (127.0.0.1) through the shared micro-batching
+//            engine. Two wire codecs share the port, sniffed from each
+//            connection's first byte: newline-delimited JSON (serve/
+//            wire.h) and, when a connection opens with 0xC0, the
+//            length-prefixed binary frame protocol (serve/frame.h) whose
+//            f32 feature payloads are read zero-copy into the GEMM
+//            panel — the fast path for inductive queries.
 //            --model is repeatable: "name=path" serves the artifact under
 //            that name (requests route via the wire "model" key; the
 //            first-listed model is the default), a bare path is shorthand
