@@ -1,5 +1,8 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -61,9 +64,24 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    std::lock_guard<std::mutex> lock(LogMutex());
-    std::cerr << stream_.str() << std::endl;
+  if (!enabled_) return;
+  // The whole record (trailing newline included) goes to stderr as one
+  // write() so records from concurrent threads can never shear mid-line:
+  // streaming through std::cerr would emit one syscall per << chunk, and
+  // another thread's chunks could interleave between them. The mutex stays
+  // to keep the rare short-write continuation loop from interleaving too.
+  stream_ << '\n';
+  const std::string record = stream_.str();
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::size_t off = 0;
+  while (off < record.size()) {
+    const ssize_t n =
+        ::write(STDERR_FILENO, record.data() + off, record.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // stderr is gone; a log record is not worth aborting over
+    }
+    off += static_cast<std::size_t>(n);
   }
 }
 

@@ -4,6 +4,10 @@
 // Levels below the global threshold (set via set_log_level or the
 // GCON_LOG_LEVEL environment variable: DEBUG/INFO/WARNING/ERROR) are
 // compiled in but skipped at runtime.
+//
+// Each record is buffered in full and flushed to stderr as a single
+// write(), so records from concurrent threads never interleave mid-line
+// (tests/logging_test.cc pins this under TSan).
 #ifndef GCON_COMMON_LOGGING_H_
 #define GCON_COMMON_LOGGING_H_
 

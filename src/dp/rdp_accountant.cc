@@ -7,9 +7,35 @@
 
 #include "common/check.h"
 #include "common/lgamma_safe.h"
+#include "obs/metrics.h"
 
 namespace gcon {
 namespace {
+
+// Accountant call counters: one series per entry point. DpSgdSigma calls
+// DpSgdEpsilon internally (bisection), so the `epsilon` series also counts
+// those inner evaluations — it measures accountant work, not user calls.
+void RecordAccountantCall(const char* fn) {
+  if (!obs::MetricsEnabled()) return;
+  static const auto handles = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    struct {
+      obs::Counter* epsilon;
+      obs::Counter* sigma;
+    } out{registry.counter("gcon_dp_accountant_calls_total",
+                           "RDP accountant evaluations, by entry point.",
+                           {{"fn", "dp_sgd_epsilon"}}),
+          registry.counter("gcon_dp_accountant_calls_total",
+                           "RDP accountant evaluations, by entry point.",
+                           {{"fn", "dp_sgd_sigma"}})};
+    return out;
+  }();
+  if (fn[0] == 'e') {
+    handles.epsilon->Increment();
+  } else {
+    handles.sigma->Increment();
+  }
+}
 
 // log(n choose k) via lgamma.
 double LogBinom(int n, int k) {
@@ -61,6 +87,7 @@ double DpSgdEpsilon(double sigma, double q, int steps, double delta,
                     int max_order) {
   GCON_CHECK_GT(steps, 0);
   GCON_CHECK_GT(delta, 0.0);
+  RecordAccountantCall("epsilon");
   double best = std::numeric_limits<double>::infinity();
   const double log_inv_delta = std::log(1.0 / delta);
   for (int alpha = 2; alpha <= max_order; ++alpha) {
@@ -74,6 +101,7 @@ double DpSgdEpsilon(double sigma, double q, int steps, double delta,
 double DpSgdSigma(double epsilon, double delta, double q, int steps,
                   int max_order) {
   GCON_CHECK_GT(epsilon, 0.0);
+  RecordAccountantCall("sigma");
   double lo = 1e-2;
   double hi = 1e-2;
   // Grow hi until it satisfies the budget.

@@ -1,11 +1,13 @@
 #include "linalg/gemm_kernels.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #include <immintrin.h>
@@ -186,6 +188,47 @@ void ScaleOrZero(double beta, Matrix* c) {
   }
 }
 
+// Shape-class accounting for the observability tier: every real GemmBlocked
+// call (one that runs the packed kernel) bumps a per-class call counter and
+// a FLOP counter (2*m*n*k). The classes partition the (m, n) plane the way
+// the serve path exercises it: single-row feature GEMVs, tall inference
+// batches, and near-square training products.
+constexpr std::array<const char*, 5> kGemmShapeNames = {
+    "vec_mat", "mat_vec", "tall_skinny", "wide", "square"};
+
+std::size_t GemmShapeClass(std::size_t m, std::size_t n) {
+  if (m == 1) return 0;           // vec_mat: one row through the weights
+  if (n == 1) return 1;           // mat_vec
+  if (m >= 4 * n) return 2;       // tall_skinny: batch >> width
+  if (n >= 4 * m) return 3;       // wide
+  return 4;                       // square-ish
+}
+
+void RecordGemmCall(std::size_t m, std::size_t n, std::size_t k) {
+  if (!obs::MetricsEnabled()) return;
+  struct ShapeHandles {
+    obs::Counter* calls;
+    obs::Counter* flops;
+  };
+  static const std::array<ShapeHandles, 5> handles = [] {
+    std::array<ShapeHandles, 5> out{};
+    auto& registry = obs::MetricsRegistry::Global();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i].calls = registry.counter(
+          "gcon_gemm_calls_total", "GemmBlocked invocations, by shape class.",
+          {{"shape", kGemmShapeNames[i]}});
+      out[i].flops = registry.counter(
+          "gcon_gemm_flops_total",
+          "Floating-point operations (2*m*n*k), by shape class.",
+          {{"shape", kGemmShapeNames[i]}});
+    }
+    return out;
+  }();
+  const ShapeHandles& h = handles[GemmShapeClass(m, n)];
+  h.calls->Increment();
+  h.flops->Increment(2ull * m * n * k);
+}
+
 }  // namespace
 
 bool GemmUsesAvx2() { return kMicroKernel != MicroKernelPortable; }
@@ -205,6 +248,7 @@ void GemmBlocked(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
     ScaleOrZero(beta, c);
     return;
   }
+  RecordGemmCall(m, n, k);
 
   const std::size_t max_nc = std::min(kGemmNC, n);
   const std::size_t max_kc = std::min(kGemmKC, k);

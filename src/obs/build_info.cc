@@ -1,0 +1,47 @@
+#include "obs/build_info.h"
+
+#include "linalg/gemm_kernels.h"
+
+#ifndef GCON_GIT_SHA
+#define GCON_GIT_SHA "unknown"
+#endif
+
+namespace gcon {
+namespace obs {
+namespace {
+
+/// Minimal JSON string escaping; the inputs are compiler/version strings,
+/// not user data, but __VERSION__ can contain anything a vendor likes.
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* GitSha() { return GCON_GIT_SHA; }
+
+const char* CompilerVersion() { return __VERSION__; }
+
+const char* SimdTier() {
+  return internal::GemmUsesAvx2() ? "avx2+fma" : "portable";
+}
+
+std::string BuildInfoJson() {
+  return std::string("{\"git_sha\": \"") + JsonEscape(GitSha()) +
+         "\", \"compiler\": \"" + JsonEscape(CompilerVersion()) +
+         "\", \"simd\": \"" + SimdTier() + "\"}";
+}
+
+std::string BuildSummary() {
+  return std::string("sha=") + GitSha() + " compiler=" + CompilerVersion() +
+         " simd=" + SimdTier();
+}
+
+}  // namespace obs
+}  // namespace gcon

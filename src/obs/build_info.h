@@ -1,0 +1,34 @@
+// Build identity for the serving tier: git sha (stamped at configure time
+// into this TU only, so an sha change recompiles one file), compiler
+// version, and the GEMM SIMD dispatch tier resolved at process start.
+// Surfaces in the `gcon_cli serve` startup banner, the `stats` admin verb,
+// and the metrics exposition's gcon_build_info gauge labels.
+#ifndef GCON_OBS_BUILD_INFO_H_
+#define GCON_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace gcon {
+namespace obs {
+
+/// Short git sha of the checkout this binary was configured from, or
+/// "unknown" outside a git work tree.
+const char* GitSha();
+
+/// Compiler identification string (__VERSION__).
+const char* CompilerVersion();
+
+/// GEMM dispatch tier actually selected on this machine.
+const char* SimdTier();
+
+/// {"git_sha": "...", "compiler": "...", "simd": "..."} — embedded in the
+/// stats admin verb's JSON.
+std::string BuildInfoJson();
+
+/// "sha=... compiler=... simd=..." one-liner for the startup banner.
+std::string BuildSummary();
+
+}  // namespace obs
+}  // namespace gcon
+
+#endif  // GCON_OBS_BUILD_INFO_H_

@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <array>
+#include <locale>
+#include <sstream>
+#include <stdexcept>
+
+namespace gcon {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Splices an `le="bound"` label into an already-rendered label string.
+std::string WithLe(const std::string& label_string, const std::string& le) {
+  if (label_string.empty()) return "{le=\"" + le + "\"}";
+  return label_string.substr(0, label_string.size() - 1) + ",le=\"" + le +
+         "\"}";
+}
+
+/// Locale-pinned number rendering; shortest round-trip-ish form is not
+/// required, only determinism on one process.
+std::string FormatDouble(double v) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+const char* TypeName(int type) {
+  switch (type) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyLocked(const std::string& name,
+                                                       const std::string& help,
+                                                       Type type) {
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.type = type;
+    family.help = help;
+  } else if (family.type != type) {
+    throw std::logic_error("metric '" + name +
+                           "' registered with conflicting types");
+  }
+  return &family;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyLocked(name, help, Type::kCounter);
+  const std::string label_string = RenderLabels(labels);
+  auto [it, inserted] = family->series.try_emplace(label_string);
+  if (inserted) {
+    counters_.push_back(std::make_unique<Counter>());
+    it->second.label_string = label_string;
+    it->second.counter = counters_.back().get();
+  }
+  return it->second.counter;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyLocked(name, help, Type::kGauge);
+  const std::string label_string = RenderLabels(labels);
+  auto [it, inserted] = family->series.try_emplace(label_string);
+  if (inserted) {
+    gauges_.push_back(std::make_unique<Gauge>());
+    it->second.label_string = label_string;
+    it->second.gauge = gauges_.back().get();
+  }
+  return it->second.gauge;
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyLocked(name, help, Type::kHistogram);
+  const std::string label_string = RenderLabels(labels);
+  auto [it, inserted] = family->series.try_emplace(label_string);
+  if (inserted) {
+    histograms_.push_back(std::make_unique<Histogram>());
+    it->second.label_string = label_string;
+    it->second.histogram = histograms_.back().get();
+  }
+  return it->second.histogram;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    out << "# HELP " << name << " " << family.help << "\n";
+    out << "# TYPE " << name << " " << TypeName(static_cast<int>(family.type))
+        << "\n";
+    for (const auto& [label_string, series] : family.series) {
+      switch (family.type) {
+        case Type::kCounter:
+          out << name << label_string << " " << series.counter->value()
+              << "\n";
+          break;
+        case Type::kGauge:
+          out << name << label_string << " "
+              << FormatDouble(series.gauge->value()) << "\n";
+          break;
+        case Type::kHistogram: {
+          // Cumulative counts at each *occupied* bucket's upper bound, then
+          // the mandatory +Inf bucket; empty buckets are elided to keep the
+          // exposition proportional to the data, not to kBuckets.
+          const LatencyStats& stats = series.histogram->stats();
+          const auto counts = stats.BucketCounts();
+          std::uint64_t cumulative = 0;
+          for (int b = 0; b < LatencyStats::kBuckets; ++b) {
+            const std::uint64_t n = counts[static_cast<std::size_t>(b)];
+            if (n == 0) continue;
+            cumulative += n;
+            out << name << "_bucket"
+                << WithLe(label_string,
+                          std::to_string(LatencyStats::BucketUpperBound(b)))
+                << " " << cumulative << "\n";
+          }
+          out << name << "_bucket" << WithLe(label_string, "+Inf") << " "
+              << cumulative << "\n";
+          out << name << "_sum" << label_string << " " << stats.SumUs()
+              << "\n";
+          out << name << "_count" << label_string << " " << stats.TotalCount()
+              << "\n";
+          break;
+        }
+      }
+    }
+  }
+  out << "# EOF\n";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace gcon

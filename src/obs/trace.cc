@@ -1,0 +1,193 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <locale>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace gcon {
+namespace obs {
+namespace {
+
+struct TraceCounters {
+  Counter* sampled;
+  Counter* slow;
+};
+
+const TraceCounters& Counters() {
+  static const TraceCounters counters = [] {
+    auto& registry = MetricsRegistry::Global();
+    return TraceCounters{
+        registry.counter("gcon_trace_sampled_total",
+                         "Requests selected by trace sampling."),
+        registry.counter("gcon_trace_slow_total",
+                         "Sampled requests over the slow-query threshold."),
+    };
+  }();
+  return counters;
+}
+
+void AppendSpans(std::ostringstream* out,
+                 const std::array<double, kNumTraceMarks>& offsets) {
+  *out << "{";
+  for (int m = 0; m < kNumTraceMarks; ++m) {
+    if (m > 0) *out << ", ";
+    *out << "\"" << TraceMarkName(m)
+         << "\": " << offsets[static_cast<std::size_t>(m)];
+  }
+  *out << "}";
+}
+
+}  // namespace
+
+const char* TraceMarkName(int mark) {
+  switch (mark) {
+    case kMarkParse:
+      return "parse_us";
+    case kMarkEnqueue:
+      return "enqueue_us";
+    case kMarkBatchForm:
+      return "batch_form_us";
+    case kMarkGather:
+      return "gather_us";
+    case kMarkGemm:
+      return "gemm_us";
+    case kMarkRespond:
+      return "respond_us";
+    default:
+      return "unknown_us";
+  }
+}
+
+const char* TransportName(int transport) {
+  switch (transport) {
+    case kTransportJson:
+      return "json";
+    case kTransportBinary:
+      return "binary";
+    default:
+      return "unknown";
+  }
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Configure(std::uint32_t sample_every,
+                              std::int64_t slow_query_us) {
+  sample_every_.store(sample_every, std::memory_order_relaxed);
+  slow_query_us_.store(slow_query_us, std::memory_order_relaxed);
+}
+
+std::shared_ptr<RequestTrace> TraceRecorder::MaybeStart(std::int64_t id,
+                                                        int transport) {
+  // Disarmed fast path: one relaxed load, no allocation, no counter bump.
+  const std::uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return nullptr;
+  if (request_counter_.fetch_add(1, std::memory_order_relaxed) % every != 0) {
+    return nullptr;
+  }
+  auto trace = std::make_shared<RequestTrace>();
+  trace->id = id;
+  trace->transport = transport;
+  trace->timer.Reset();
+  trace->Stamp(kMarkParse);
+  return trace;
+}
+
+void TraceRecorder::Finish(const std::shared_ptr<RequestTrace>& trace) {
+  if (!trace) return;
+  trace->Stamp(kMarkRespond);
+
+  // Seqlock push: claim a sequence number, mark the slot dirty (odd
+  // version), publish the fields, then seal it with the even version a
+  // reader of sequence `seq` expects. Writers never block each other on the
+  // same slot unless they are a full ring apart, in which case the version
+  // check makes one of them invisible rather than torn.
+  //
+  // Ordering rides the field accesses themselves (release stores here,
+  // acquire loads in TracesJson) rather than standalone fences: a reader
+  // that observes any field from this write synchronizes-with its release
+  // store, which makes the odd version-mark (program-order earlier here)
+  // visible to the reader's version recheck — torn reads are detected
+  // without atomic_thread_fence, which GCC's TSan instrumentation does not
+  // support. On x86 release stores and acquire loads are plain moves.
+  const std::uint64_t seq =
+      cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % kRingSize];
+  slot.version.store(2 * seq + 1, std::memory_order_relaxed);
+  slot.id.store(trace->id, std::memory_order_release);
+  slot.transport.store(trace->transport, std::memory_order_release);
+  for (int m = 0; m < kNumTraceMarks; ++m) {
+    slot.offset_us[static_cast<std::size_t>(m)].store(
+        trace->offset_us[static_cast<std::size_t>(m)],
+        std::memory_order_release);
+  }
+  slot.version.store(2 * seq + 2, std::memory_order_release);
+
+  Counters().sampled->Increment();
+
+  const std::int64_t slow_us =
+      slow_query_us_.load(std::memory_order_relaxed);
+  const double total_us =
+      trace->offset_us[static_cast<std::size_t>(kMarkRespond)];
+  if (slow_us > 0 && total_us >= static_cast<double>(slow_us)) {
+    Counters().slow->Increment();
+    std::ostringstream spans;
+    spans.imbue(std::locale::classic());
+    AppendSpans(&spans, trace->offset_us);
+    GCON_LOG(WARNING) << "slow query id=" << trace->id
+                      << " transport=" << TransportName(trace->transport)
+                      << " total_us=" << total_us
+                      << " spans=" << spans.str();
+  }
+}
+
+std::string TraceRecorder::TracesJson(std::size_t last_n) const {
+  last_n = std::min(last_n, kRingSize);
+  const std::uint64_t end = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t begin = end > last_n ? end - last_n : 0;
+
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << "{\"sample_every\": " << sample_every()
+      << ", \"slow_query_us\": " << slow_query_us()
+      << ", \"sampled\": " << end << ", \"traces\": [";
+  bool first = true;
+  for (std::uint64_t seq = begin; seq < end; ++seq) {
+    const Slot& slot = slots_[seq % kRingSize];
+    // Seqlock read: the slot must carry exactly this sequence's sealed
+    // version before and after the field reads, or it was overwritten (or
+    // is mid-write) and gets skipped. Acquire loads pair with the writer's
+    // release field stores: reading any field of a later write makes that
+    // writer's odd version-mark visible to the recheck below (see the
+    // ordering note in Finish).
+    const std::uint64_t expect = 2 * seq + 2;
+    if (slot.version.load(std::memory_order_acquire) != expect) continue;
+    const std::int64_t id = slot.id.load(std::memory_order_acquire);
+    const int transport = slot.transport.load(std::memory_order_acquire);
+    std::array<double, kNumTraceMarks> offsets;
+    for (int m = 0; m < kNumTraceMarks; ++m) {
+      offsets[static_cast<std::size_t>(m)] =
+          slot.offset_us[static_cast<std::size_t>(m)].load(
+              std::memory_order_acquire);
+    }
+    if (slot.version.load(std::memory_order_relaxed) != expect) continue;
+
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"id\": " << id << ", \"transport\": \""
+        << TransportName(transport) << "\", \"spans_us\": ";
+    AppendSpans(&out, offsets);
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace gcon

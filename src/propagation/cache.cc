@@ -6,11 +6,45 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "propagation/appr.h"
 #include "propagation/transition.h"
 
 namespace gcon {
 namespace {
+
+/// Registry handles for the cache, fetched once. Event counters are
+/// Prometheus-monotonic (ResetStats() clears the JSON-visible stats_, not
+/// these); bytes/entries gauges track the stores' current footprint.
+struct CacheMetrics {
+  obs::Counter* csr_hits;
+  obs::Counter* csr_misses;
+  obs::Counter* prop_hits;
+  obs::Counter* prop_misses;
+  obs::Counter* evictions;
+  obs::Gauge* bytes;
+  obs::Gauge* entries;
+};
+
+const CacheMetrics& Metrics() {
+  static const CacheMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    const auto event = [&](const char* kind) {
+      return registry.counter("gcon_cache_events_total",
+                              "PropagationCache events, by kind.",
+                              {{"kind", kind}});
+    };
+    return CacheMetrics{
+        event("csr_hit"),      event("csr_miss"), event("prop_hit"),
+        event("prop_miss"),    event("evict"),
+        registry.gauge("gcon_cache_bytes",
+                       "Resident bytes across both cache stores."),
+        registry.gauge("gcon_cache_entries",
+                       "Resident entries across both cache stores."),
+    };
+  }();
+  return metrics;
+}
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
@@ -146,6 +180,7 @@ PropagationCache::CachedCsr PropagationCache::CsrLocked(
     event.hit_seconds_saved = it->second.build_seconds;
     stats_.AddEvents(event);
     RecordScoped(event);
+    Metrics().csr_hits->Increment();
     it->second.last_use = ++clock_;
     return CachedCsr{it->second.csr, key};
   }
@@ -159,6 +194,7 @@ PropagationCache::CachedCsr PropagationCache::CsrLocked(
   event.miss_build_seconds = seconds;
   stats_.AddEvents(event);
   RecordScoped(event);
+  Metrics().csr_misses->Increment();
   csr_store_[key] = CsrEntry{csr, seconds, ++clock_};
   EvictIfNeededLocked();
   return CachedCsr{std::move(csr), key};
@@ -189,6 +225,7 @@ Matrix PropagationCache::ConcatPropagate(const CsrMatrix& transition,
     event.hit_seconds_saved = it->second.build_seconds;
     stats_.AddEvents(event);
     RecordScoped(event);
+    Metrics().prop_hits->Increment();
     it->second.last_use = ++clock_;
     return *it->second.z;
   }
@@ -203,6 +240,7 @@ Matrix PropagationCache::ConcatPropagate(const CsrMatrix& transition,
   event.miss_build_seconds = seconds;
   stats_.AddEvents(event);
   RecordScoped(event);
+  Metrics().prop_misses->Increment();
   Matrix result = *z;
   prop_store_[std::move(key)] = PropEntry{std::move(z), seconds, ++clock_};
   EvictIfNeededLocked();
@@ -229,6 +267,7 @@ void PropagationCache::EvictIfNeededLocked() {
       if (it->second.last_use < victim->second.last_use) victim = it;
     }
     csr_store_.erase(victim);
+    Metrics().evictions->Increment();
   };
   auto evict_lru_prop = [this] {
     auto victim = prop_store_.begin();
@@ -236,6 +275,7 @@ void PropagationCache::EvictIfNeededLocked() {
       if (it->second.last_use < victim->second.last_use) victim = it;
     }
     prop_store_.erase(victim);
+    Metrics().evictions->Increment();
   };
   while (csr_store_.size() > max_entries_per_store_) evict_lru_csr();
   while (prop_store_.size() > max_entries_per_store_) evict_lru_prop();
@@ -243,6 +283,9 @@ void PropagationCache::EvictIfNeededLocked() {
   // first, then CSRs.
   while (BytesLocked() > max_bytes_ && !prop_store_.empty()) evict_lru_prop();
   while (BytesLocked() > max_bytes_ && !csr_store_.empty()) evict_lru_csr();
+  Metrics().bytes->Set(static_cast<double>(BytesLocked()));
+  Metrics().entries->Set(
+      static_cast<double>(csr_store_.size() + prop_store_.size()));
 }
 
 PropagationCacheStats PropagationCache::stats() const {
@@ -262,6 +305,8 @@ void PropagationCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   csr_store_.clear();
   prop_store_.clear();
+  Metrics().bytes->Set(0.0);
+  Metrics().entries->Set(0.0);
 }
 
 bool PropagationCache::enabled() const {
@@ -275,6 +320,8 @@ void PropagationCache::set_enabled(bool enabled) {
   if (!enabled_) {
     csr_store_.clear();
     prop_store_.clear();
+    Metrics().bytes->Set(0.0);
+    Metrics().entries->Set(0.0);
   }
 }
 

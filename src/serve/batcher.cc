@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/fault_injection.h"
 
 namespace gcon {
@@ -41,15 +43,46 @@ MicroBatcher::MicroBatcher(ServeOptions options, BatchHandler handler)
     : MicroBatcher(options, std::vector<BatchHandler>{std::move(handler)}) {}
 
 MicroBatcher::MicroBatcher(ServeOptions options,
-                           std::vector<BatchHandler> handlers)
+                           std::vector<BatchHandler> handlers,
+                           std::vector<std::string> queue_labels)
     : options_(options) {
   options_.Validate();
   if (handlers.empty()) {
     throw std::invalid_argument("MicroBatcher needs at least one handler");
   }
   queues_.reserve(handlers.size());
+  auto& registry = obs::MetricsRegistry::Global();
   for (BatchHandler& handler : handlers) {
     queues_.push_back(std::make_unique<Queue>(std::move(handler)));
+    Queue& queue = *queues_.back();
+    const std::size_t index = queues_.size() - 1;
+    const std::string model = index < queue_labels.size()
+                                  ? queue_labels[index]
+                                  : "q" + std::to_string(index);
+    QueueMetrics& m = queue.metrics;
+    m.accepted = registry.counter("gcon_serve_accepted_total",
+                                  "Queries admitted to a model queue.",
+                                  {{"model", model}});
+    const auto rejected = [&](ServeErrorCode code) {
+      return registry.counter(
+          "gcon_serve_rejected_total",
+          "Queries rejected, by ServeError code.",
+          {{"model", model}, {"code", ServeErrorCodeName(code)}});
+    };
+    m.rejected_overload = rejected(ServeErrorCode::kOverloaded);
+    m.rejected_deadline = rejected(ServeErrorCode::kDeadlineExceeded);
+    m.rejected_draining = rejected(ServeErrorCode::kDraining);
+    m.depth = registry.gauge("gcon_serve_queue_depth",
+                             "Currently pending queries per model queue.",
+                             {{"model", model}});
+    m.peak = registry.gauge(
+        "gcon_serve_queue_peak",
+        "High-water mark of the pending queue since server start.",
+        {{"model", model}});
+    m.batch_size = registry.histogram(
+        "gcon_serve_batch_size",
+        "Queries coalesced per handler call (batch-size distribution).",
+        {{"model", model}});
   }
   workers_.reserve(static_cast<std::size_t>(options_.threads));
   for (int t = 0; t < options_.threads; ++t) {
@@ -98,11 +131,12 @@ std::future<ServeResponse> MicroBatcher::Submit(std::size_t queue,
   std::future<ServeResponse> future = pending->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    Queue& target = *queues_[queue];
     if (stopping_ || draining_) {
+      target.metrics.rejected_draining->Increment();
       throw ServeError(ServeErrorCode::kDraining,
                        "server draining; not accepting new queries");
     }
-    Queue& target = *queues_[queue];
     // Admission control: reject rather than queue without bound. The
     // injected variant lets the chaos/conformance suites hit this path
     // deterministically without racing a real flood.
@@ -112,16 +146,25 @@ std::future<ServeResponse> MicroBatcher::Submit(std::size_t queue,
     if (queue_full ||
         FaultInjector::Global().ShouldFire(Fault::kQueueFull)) {
       ++target.rejected_overload;
+      target.metrics.rejected_overload->Increment();
       throw ServeError(ServeErrorCode::kOverloaded,
                        "model queue full (max_queue=" +
                            std::to_string(options_.max_queue) +
                            "); retry later");
+    }
+    if (pending->request.trace) {
+      pending->request.trace->Stamp(obs::kMarkEnqueue);
     }
     target.pending.push_back(std::move(pending));
     ++total_pending_;
     if (target.pending.size() > target.queue_peak) {
       target.queue_peak = target.pending.size();
     }
+    // Registry mirrors of the admission counters are refreshed at scrape
+    // time (RefreshObsMetrics) — a per-query registry touch inside this
+    // critical section is measurable against the obs_overhead_qps_ratio
+    // gate; a plain increment under the already-held mutex is not.
+    ++target.accepted_total;
   }
   arrival_cv_.notify_one();
   return future;
@@ -201,6 +244,9 @@ void MicroBatcher::WorkerMain() {
       queue = TakeBatchLocked(&lock, &batch);
       if (queue == nullptr) return;
     }
+    for (const auto& p : batch) {
+      if (p->request.trace) p->request.trace->Stamp(obs::kMarkBatchForm);
+    }
 
     // Chaos site: a stalled handler (lock contention, page fault storm,
     // a slow downstream) delays execution past queued deadlines — the
@@ -237,6 +283,12 @@ void MicroBatcher::WorkerMain() {
         ++queue->batches_run;
         queue->queries_served += batch.size();
       }
+    }
+    if (!expired.empty()) {
+      queue->metrics.rejected_deadline->Increment(expired.size());
+    }
+    if (!batch.empty()) {
+      queue->metrics.batch_size->Observe(static_cast<double>(batch.size()));
     }
     for (auto& p : expired) {
       p->promise.set_exception(std::make_exception_ptr(
@@ -283,6 +335,22 @@ void MicroBatcher::ResetCounters() {
     queue->rejected_deadline = 0;
     queue->queue_peak = 0;
     queue->latency.Reset();
+  }
+}
+
+void MicroBatcher::RefreshObsMetrics() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& queue : queues_) {
+    // Counter mirror: internal accepted_total is monotone and the delta is
+    // computed under mu_, so concurrent scrapes cannot double-count. While
+    // the registry is disarmed the Increment is dropped and the mirror
+    // simply catches up on the next armed scrape.
+    const std::uint64_t mirrored = queue->metrics.accepted->value();
+    if (queue->accepted_total > mirrored) {
+      queue->metrics.accepted->Increment(queue->accepted_total - mirrored);
+    }
+    queue->metrics.depth->Set(static_cast<double>(queue->pending.size()));
+    queue->metrics.peak->Set(static_cast<double>(queue->queue_peak));
   }
 }
 

@@ -40,9 +40,11 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/inference_session.h"
 #include "serve/latency_stats.h"
 #include "serve/serve_error.h"
@@ -93,8 +95,14 @@ class MicroBatcher {
   MicroBatcher(ServeOptions options, BatchHandler handler);
 
   /// Multi-queue batcher: one queue per handler (at least one), all served
-  /// by the same options.threads resident workers.
-  MicroBatcher(ServeOptions options, std::vector<BatchHandler> handlers);
+  /// by the same options.threads resident workers. `queue_labels` names the
+  /// queues in the metrics registry (the server passes model names); queues
+  /// past the end of the list fall back to "q<i>". The batcher owns the
+  /// serving-tier metrics — accepts, rejections by ServeError code, queue
+  /// depth/peak, batch-size distribution — because it owns the admission
+  /// and batch-formation sites those metrics describe.
+  MicroBatcher(ServeOptions options, std::vector<BatchHandler> handlers,
+               std::vector<std::string> queue_labels = {});
 
   ~MicroBatcher();
   MicroBatcher(const MicroBatcher&) = delete;
@@ -128,6 +136,15 @@ class MicroBatcher {
   /// warm-up traffic from the reported numbers.
   void ResetCounters();
 
+  /// Pushes the current admission state into the global metrics registry:
+  /// the accepted-total mirror, queue depth, and queue peak per queue. The
+  /// hot path only bumps plain counters under the mutex it already holds;
+  /// the registry handles are written here, at scrape time (the `metrics`
+  /// admin verb calls this before rendering) — a Prometheus scrape is a
+  /// snapshot either way, and this keeps the per-query cost of the
+  /// observability tier at zero registry touches.
+  void RefreshObsMetrics();
+
   std::size_t num_queues() const { return queues_.size(); }
   /// Aggregates across every queue.
   std::uint64_t queries_served() const;
@@ -147,6 +164,23 @@ class MicroBatcher {
   const ServeOptions& options() const { return options_; }
 
  private:
+  /// Registry handles for one queue, fetched once at construction. The
+  /// counters are Prometheus-monotonic: ResetCounters() zeroes the local
+  /// stats-JSON counters but never these. `accepted`, `depth`, and `peak`
+  /// are mirrors written only by RefreshObsMetrics (scrape time); the
+  /// rejection counters and batch-size histogram are updated live — those
+  /// sites are off the per-query fast path (rejections are exceptional,
+  /// batch formation is amortized 1/mean_batch per query).
+  struct QueueMetrics {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected_overload = nullptr;
+    obs::Counter* rejected_deadline = nullptr;
+    obs::Counter* rejected_draining = nullptr;
+    obs::Gauge* depth = nullptr;
+    obs::Gauge* peak = nullptr;
+    obs::Histogram* batch_size = nullptr;
+  };
+
   /// One model's lane: its pending deque, counters, and histogram. The
   /// handler is fixed at construction; everything else is guarded by mu_
   /// (the LatencyStats is internally lock-free).
@@ -159,7 +193,11 @@ class MicroBatcher {
     std::uint64_t rejected_overload = 0;
     std::uint64_t rejected_deadline = 0;
     std::uint64_t queue_peak = 0;
+    /// Admissions since construction. NOT zeroed by ResetCounters — it
+    /// backs the Prometheus-monotonic gcon_serve_accepted_total mirror.
+    std::uint64_t accepted_total = 0;
     LatencyStats latency;
+    QueueMetrics metrics;
   };
 
   void WorkerMain();

@@ -391,11 +391,14 @@ bool ParseAdminPayload(const char* payload, std::size_t len, AdminVerb* verb,
     case static_cast<std::uint32_t>(AdminVerb::kQuit):
     case static_cast<std::uint32_t>(AdminVerb::kPublish):
     case static_cast<std::uint32_t>(AdminVerb::kDrain):
+    case static_cast<std::uint32_t>(AdminVerb::kMetrics):
+    case static_cast<std::uint32_t>(AdminVerb::kTrace):
       *verb = static_cast<AdminVerb>(raw_verb);
       break;
     default:
       *error = "unknown admin verb " + std::to_string(raw_verb) +
-               " (want stats=1, list_models=2, quit=3, publish=4, drain=5)";
+               " (want stats=1, list_models=2, quit=3, publish=4, drain=5, "
+               "metrics=6, trace=7)";
       return false;
   }
   const std::uint64_t want = static_cast<std::uint64_t>(kAdminHeaderBytes) +

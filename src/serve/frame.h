@@ -125,6 +125,8 @@ enum class AdminVerb : std::uint32_t {
   kQuit = 3,
   kPublish = 4,  ///< model = target name (may be empty), path = artifact
   kDrain = 5,
+  kMetrics = 6,  ///< reply payload is Prometheus text, not JSON
+  kTrace = 7,    ///< last sampled span timelines as one JSON document
 };
 
 /// A decoded error frame (client-side decoding; servers encode).

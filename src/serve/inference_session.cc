@@ -318,7 +318,14 @@ Matrix InferenceSession::QueryBatch(
         batch[i]->has_features ? encoded_queries.RowPtr(q++) : nullptr;
     FillFeatureRow(*batch[i], encoded_query_row, z.RowPtr(i));
   }
-  return MatMul(z, artifact_->theta);
+  for (const ServeRequest* request : batch) {
+    if (request->trace) request->trace->Stamp(obs::kMarkGather);
+  }
+  Matrix logits = MatMul(z, artifact_->theta);
+  for (const ServeRequest* request : batch) {
+    if (request->trace) request->trace->Stamp(obs::kMarkGemm);
+  }
+  return logits;
 }
 
 std::vector<double> InferenceSession::QueryLogits(

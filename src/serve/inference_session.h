@@ -62,6 +62,7 @@
 #include "graph/graph.h"
 #include "linalg/matrix.h"
 #include "model/model.h"
+#include "obs/trace.h"
 #include "sparse/csr_matrix.h"
 
 namespace gcon {
@@ -122,6 +123,13 @@ struct ServeRequest {
   /// Admin payload for the `publish` verb: filesystem path of the artifact
   /// to load. Unused (and rejected by the parser) on query lines.
   std::string path;
+  /// Span timeline for sampled requests (obs/trace.h); null for the
+  /// unsampled majority, making every stamp site a single pointer check.
+  /// The pointee is deliberately mutable through const ServeRequest& —
+  /// stamping a trace observes the request, it does not alter it — and the
+  /// shared_ptr lets the wire layer keep the timeline alive after the
+  /// request itself has been consumed by the batch.
+  std::shared_ptr<obs::RequestTrace> trace;
 };
 
 /// Answer to one query.
@@ -175,6 +183,11 @@ class InferenceSession {
   /// True in artifact mode (per-query propagation; private edges and
   /// feature-carrying queries allowed).
   bool per_query() const { return per_query_; }
+  /// The loaded artifact's privacy budget (0 in precomputed-logits mode) —
+  /// feeds the server's cumulative gcon_dp_epsilon gauge per model.
+  double artifact_epsilon() const {
+    return artifact_ ? artifact_->epsilon : 0.0;
+  }
 
   /// Throws std::invalid_argument when `request` cannot be served (node out
   /// of range; edges/features in precomputed-logits mode; features of the

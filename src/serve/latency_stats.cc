@@ -113,10 +113,32 @@ void LatencyStats::Add(const LatencyStats& other) {
 }
 
 void LatencyStats::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_us_.store(0, std::memory_order_relaxed);
-  max_us_.store(0, std::memory_order_relaxed);
+  // Release stores: a reader that acquires one of these zeros must not see
+  // stale pre-reset state published through it. Record() may still land
+  // either side of the sweep (see header) — that is approximation, not a
+  // data race: every access stays atomic.
+  for (auto& b : buckets_) b.store(0, std::memory_order_release);
+  count_.store(0, std::memory_order_release);
+  sum_us_.store(0, std::memory_order_release);
+  max_us_.store(0, std::memory_order_release);
+}
+
+std::array<std::uint64_t, LatencyStats::kBuckets> LatencyStats::BucketCounts()
+    const {
+  std::array<std::uint64_t, kBuckets> counts;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[static_cast<std::size_t>(b)] =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::uint64_t LatencyStats::TotalCount() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyStats::SumUs() const {
+  return sum_us_.load(std::memory_order_relaxed);
 }
 
 std::string LatencyStats::Snapshot::ToString() const {

@@ -60,9 +60,25 @@ class LatencyStats {
   /// multi-model server into one process-wide view.
   void Add(const LatencyStats& other);
 
-  /// Zeroes every counter (not atomic across buckets; callers quiesce
-  /// recording first — used by benches between phases).
+  /// Zeroes every counter. Safe to call concurrently with Record()/Add():
+  /// each counter is zeroed with a release store, so a racing reader that
+  /// observes the zero also observes no stale pre-reset residue through it.
+  /// The reset is still not atomic *across* buckets — a recording that
+  /// straddles the sweep may survive partially (count without its bucket,
+  /// or vice versa), which keeps a mid-burst reset a consistent-enough
+  /// approximation rather than a torn read or UB. Used by benches between
+  /// phases, where router workers are not fully quiesced.
   void Reset();
+
+  /// Relaxed per-bucket snapshot of the raw counters, for exposition
+  /// formats (Prometheus histograms) that need the buckets themselves
+  /// rather than derived percentiles. Same mid-burst approximation
+  /// contract as Summarize().
+  std::array<std::uint64_t, kBuckets> BucketCounts() const;
+
+  /// Relaxed reads of the scalar counters (same contract as Summarize).
+  std::uint64_t TotalCount() const;
+  std::uint64_t SumUs() const;
 
  private:
   double PercentileLocked(const std::array<std::uint64_t, kBuckets>& counts,

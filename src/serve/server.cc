@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -23,6 +24,9 @@
 
 #include "common/logging.h"
 #include "linalg/ops.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/fault_injection.h"
 #include "serve/frame.h"
 #include "serve/serve_error.h"
@@ -35,6 +39,19 @@ std::vector<ModelRouter::NamedModel> SingleModel(InferenceSession session) {
   std::vector<ModelRouter::NamedModel> models;
   models.push_back({"default", std::move(session)});
   return models;
+}
+
+/// Cumulative privacy budget released for one model name. GAP-style
+/// repeated-release accounting: the gauge starts at the served artifact's
+/// epsilon and every publish ADDS the incoming artifact's epsilon — each
+/// release of a model trained on the same population spends fresh budget,
+/// and an operator watching gcon_dp_epsilon sees the running total.
+obs::Gauge* EpsilonGauge(const std::string& model) {
+  return obs::MetricsRegistry::Global().gauge(
+      "gcon_dp_epsilon",
+      "Cumulative epsilon released across publishes of this model "
+      "(RDP-accounted artifacts; repeated-release total).",
+      {{"model", model}});
 }
 
 }  // namespace
@@ -74,7 +91,15 @@ InferenceServer::InferenceServer(std::vector<ModelRouter::NamedModel> models,
       }
     });
   }
-  batcher_ = std::make_unique<MicroBatcher>(options, std::move(handlers));
+  std::vector<std::string> queue_labels;
+  queue_labels.reserve(static_cast<std::size_t>(router_.size()));
+  for (int m = 0; m < router_.size(); ++m) {
+    queue_labels.push_back(router_.name(m));
+    EpsilonGauge(router_.name(m))
+        ->Set(router_.SessionRef(m)->artifact_epsilon());
+  }
+  batcher_ = std::make_unique<MicroBatcher>(options, std::move(handlers),
+                                            std::move(queue_labels));
 }
 
 InferenceServer::~InferenceServer() { Stop(); }
@@ -98,8 +123,11 @@ ServeResponse InferenceServer::Query(ServeRequest request) {
 
 void InferenceServer::Publish(const std::string& name,
                               InferenceSession session) {
-  router_.Publish(name.empty() ? router_.default_model() : name,
-                  std::move(session));
+  const std::string target =
+      name.empty() ? router_.default_model() : name;
+  const double epsilon = session.artifact_epsilon();
+  router_.Publish(target, std::move(session));
+  EpsilonGauge(target)->Add(epsilon);
 }
 
 std::string InferenceServer::PublishFromFile(const std::string& name,
@@ -118,7 +146,9 @@ std::string InferenceServer::PublishFromFile(const std::string& name,
       << ", \"classes\": " << incoming.num_classes()
       << ", \"features\": " << incoming.feature_dim() << ", \"per_query\": "
       << (incoming.per_query() ? "true" : "false") << "}";
+  const double epsilon = incoming.artifact_epsilon();
   router_.Publish(target, std::move(incoming));
+  EpsilonGauge(target)->Add(epsilon);
   return out.str();
 }
 
@@ -148,6 +178,11 @@ std::uint64_t InferenceServer::batches_run() const {
 }
 
 void InferenceServer::ResetStats() { batcher_->ResetCounters(); }
+
+std::string InferenceServer::MetricsText() {
+  batcher_->RefreshObsMetrics();
+  return obs::MetricsRegistry::Global().PrometheusText();
+}
 
 namespace {
 
@@ -196,7 +231,7 @@ std::string InferenceServer::StatsJson() const {
                    batcher_->rejected_deadline(q), batcher_->queue_peak(q));
     out << "}";
   }
-  out << "]}";
+  out << "], \"build\": " << obs::BuildInfoJson() << "}";
   return out.str();
 }
 
@@ -234,18 +269,58 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+/// Per-transport registry handles (connections, bytes in/out), fetched
+/// once per process and indexed by obs transport tag.
+struct TransportMetrics {
+  obs::Counter* connections = nullptr;
+  obs::Counter* bytes_in = nullptr;
+  obs::Counter* bytes_out = nullptr;
+};
+
+const TransportMetrics& TransportCounters(int transport) {
+  static const std::array<TransportMetrics, 2> metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    std::array<TransportMetrics, 2> m{};
+    for (int t = 0; t < 2; ++t) {
+      const std::string name = obs::TransportName(t);
+      m[static_cast<std::size_t>(t)] = {
+          registry.counter("gcon_serve_connections_total",
+                           "Accepted TCP connections, by transport.",
+                           {{"transport", name}}),
+          registry.counter("gcon_serve_bytes_total",
+                           "Wire bytes moved, by transport and direction.",
+                           {{"transport", name}, {"direction", "in"}}),
+          registry.counter("gcon_serve_bytes_total",
+                           "Wire bytes moved, by transport and direction.",
+                           {{"transport", name}, {"direction", "out"}}),
+      };
+    }
+    return m;
+  }();
+  return metrics[static_cast<std::size_t>(transport)];
+}
+
 /// Serves one connection line-by-line. Query lines are pipelined through
 /// QueryAsync (so a burst from one client coalesces into one batch);
 /// responses flush in request order at chunk boundaries and before any
 /// admin/quit/error line, preserving the ordered-wire contract.
 void ServeJsonConnection(InferenceServer* server, int fd) {
+  const TransportMetrics& tm = TransportCounters(obs::kTransportJson);
+  tm.connections->Increment();
   std::string buffer;
   struct InFlight {
     std::int64_t id;
     std::future<ServeResponse> future;
+    std::shared_ptr<obs::RequestTrace> trace;
   };
   std::deque<InFlight> pending;
   char chunk[4096];
+
+  auto send_line = [&](const std::string& data) -> bool {
+    const bool ok = SendAll(fd, data);
+    if (ok) tm.bytes_out->Increment(data.size());
+    return ok;
+  };
 
   // Returns false when the socket died mid-flush; the remaining futures
   // are still drained (the batcher resolves every accepted query — the
@@ -256,24 +331,25 @@ void ServeJsonConnection(InferenceServer* server, int fd) {
       try {
         const ServeResponse response = pending.front().future.get();
         if (alive) {
-          alive = SendAll(fd, FormatWireResponse(response) + "\n");
+          alive = send_line(FormatWireResponse(response) + "\n");
         }
       } catch (const ServeError& e) {
         // Structured rejection (deadline expired in queue): the coded
         // line lets a pipelined client tell "retry" from "bug".
         if (alive) {
-          alive = SendAll(fd, FormatWireError(pending.front().id, e.code(),
-                                              e.what()) +
-                                  "\n");
+          alive = send_line(FormatWireError(pending.front().id, e.code(),
+                                            e.what()) +
+                            "\n");
         }
       } catch (const std::exception& e) {
         // Batch-handler failure: the error line must still carry the id
         // the client used, or a pipelined client cannot attribute it.
         if (alive) {
-          alive = SendAll(fd, FormatWireError(pending.front().id, e.what()) +
-                                  "\n");
+          alive = send_line(FormatWireError(pending.front().id, e.what()) +
+                            "\n");
         }
       }
+      obs::TraceRecorder::Global().Finish(pending.front().trace);
       pending.pop_front();
     }
     return alive;
@@ -286,10 +362,10 @@ void ServeJsonConnection(InferenceServer* server, int fd) {
     std::int64_t id = 0;
     RecoverWireId(data, &id);
     flush_pending();
-    SendAll(fd, FormatWireError(
-                    id, "oversized request line (limit " +
-                            std::to_string(kMaxWireLineBytes) + " bytes)") +
-                    "\n");
+    send_line(FormatWireError(
+                  id, "oversized request line (limit " +
+                          std::to_string(kMaxWireLineBytes) + " bytes)") +
+              "\n");
     ::close(fd);
   };
 
@@ -302,6 +378,7 @@ void ServeJsonConnection(InferenceServer* server, int fd) {
     // the last chunk boundary.
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n <= 0) break;  // EOF or a dead socket
+    tm.bytes_in->Increment(static_cast<std::uint64_t>(n));
     buffer.append(chunk, static_cast<std::size_t>(n));
 
     std::size_t start = 0;
@@ -313,8 +390,17 @@ void ServeJsonConnection(InferenceServer* server, int fd) {
         oversized(line);
         return;
       }
-      if (line.empty() ||
-          line.find_first_not_of(" \t\r") == std::string::npos) {
+      const std::size_t text_begin = line.find_first_not_of(" \t\r");
+      if (line.empty() || text_begin == std::string::npos) {
+        continue;
+      }
+      // A bare `metrics` line (no JSON) serves the Prometheus exposition,
+      // so `echo metrics | nc host port` scrapes without quoting JSON.
+      const std::size_t text_end = line.find_last_not_of(" \t\r");
+      if (line.compare(text_begin, text_end - text_begin + 1, "metrics") ==
+          0) {
+        flush_pending();
+        send_line(server->MetricsText());
         continue;
       }
       WireCommand command;
@@ -322,33 +408,45 @@ void ServeJsonConnection(InferenceServer* server, int fd) {
       std::string error;
       if (!ParseWireRequest(line, &command, &request, &error)) {
         flush_pending();
-        SendAll(fd, FormatWireError(request.id, error) + "\n");
+        send_line(FormatWireError(request.id, error) + "\n");
         continue;
       }
       if (command == WireCommand::kStats) {
         flush_pending();
-        SendAll(fd, server->StatsJson() + "\n");
+        send_line(server->StatsJson() + "\n");
         continue;
       }
       if (command == WireCommand::kListModels) {
         flush_pending();
-        SendAll(fd, server->ListModelsJson() + "\n");
+        send_line(server->ListModelsJson() + "\n");
+        continue;
+      }
+      if (command == WireCommand::kMetrics) {
+        flush_pending();
+        // Multi-line response; the exposition's trailing "# EOF" line is
+        // the framing sentinel clients read to.
+        send_line(server->MetricsText());
+        continue;
+      }
+      if (command == WireCommand::kTrace) {
+        flush_pending();
+        send_line(obs::TraceRecorder::Global().TracesJson() + "\n");
         continue;
       }
       if (command == WireCommand::kPublish) {
         flush_pending();
         try {
-          SendAll(fd, server->PublishFromFile(request.model, request.path) +
-                          "\n");
+          send_line(server->PublishFromFile(request.model, request.path) +
+                    "\n");
         } catch (const std::exception& e) {
-          SendAll(fd, FormatWireError(request.id, e.what()) + "\n");
+          send_line(FormatWireError(request.id, e.what()) + "\n");
         }
         continue;
       }
       if (command == WireCommand::kDrain) {
         flush_pending();
         server->BeginDrain();
-        SendAll(fd, "{\"draining\": true}\n");
+        send_line("{\"draining\": true}\n");
         continue;
       }
       if (command == WireCommand::kQuit) {
@@ -356,17 +454,21 @@ void ServeJsonConnection(InferenceServer* server, int fd) {
         ::close(fd);
         return;
       }
+      request.trace = obs::TraceRecorder::Global().MaybeStart(
+          request.id, obs::kTransportJson);
       try {
         const std::int64_t id = request.id;
-        pending.push_back({id, server->QueryAsync(std::move(request))});
+        auto trace = request.trace;
+        pending.push_back(
+            {id, server->QueryAsync(std::move(request)), std::move(trace)});
       } catch (const ServeError& e) {
         // Admission rejection (overloaded / draining): coded, fail-fast —
         // the client learns to back off instead of hanging.
         flush_pending();
-        SendAll(fd, FormatWireError(request.id, e.code(), e.what()) + "\n");
+        send_line(FormatWireError(request.id, e.code(), e.what()) + "\n");
       } catch (const std::exception& e) {
         flush_pending();
-        SendAll(fd, FormatWireError(request.id, e.what()) + "\n");
+        send_line(FormatWireError(request.id, e.what()) + "\n");
       }
     }
     buffer.erase(0, start);
@@ -429,6 +531,14 @@ class FramePool {
 /// lands in a pooled buffer, the parsed request's feature view points into
 /// it, and the buffer stays pinned until the query's batch resolves.
 void ServeBinaryConnection(InferenceServer* server, int fd) {
+  const TransportMetrics& tm = TransportCounters(obs::kTransportBinary);
+  tm.connections->Increment();
+  auto send_frame = [&](const std::string& data) -> bool {
+    const bool ok = SendAll(fd, data);
+    if (ok) tm.bytes_out->Increment(data.size());
+    return ok;
+  };
+
   // Hello handshake: validate the client's magic+version, answer with the
   // negotiated version (min of the two — a newer client speaks our dialect,
   // an older server never has to).
@@ -437,16 +547,17 @@ void ServeBinaryConnection(InferenceServer* server, int fd) {
     ::close(fd);
     return;
   }
+  tm.bytes_in->Increment(sizeof(hello));
   std::uint16_t client_version = 0;
   std::string error;
   if (!ParseHello(hello, sizeof(hello), &client_version, &error)) {
-    SendAll(fd, EncodeErrorFrame(
-                    0, WireErrorCode(ServeErrorCode::kMalformedFrame), error));
+    send_frame(EncodeErrorFrame(
+        0, WireErrorCode(ServeErrorCode::kMalformedFrame), error));
     ::close(fd);
     return;
   }
   const std::uint16_t version = std::min(client_version, kFrameVersion);
-  if (!SendAll(fd, EncodeHello(version))) {
+  if (!send_frame(EncodeHello(version))) {
     ::close(fd);
     return;
   }
@@ -454,6 +565,7 @@ void ServeBinaryConnection(InferenceServer* server, int fd) {
   struct InFlight {
     std::int64_t id;
     std::future<ServeResponse> future;
+    std::shared_ptr<obs::RequestTrace> trace;
   };
   std::deque<InFlight> pending;
 
@@ -462,19 +574,20 @@ void ServeBinaryConnection(InferenceServer* server, int fd) {
     while (!pending.empty()) {
       try {
         const ServeResponse response = pending.front().future.get();
-        if (alive) alive = SendAll(fd, EncodeResponseFrame(response));
+        if (alive) alive = send_frame(EncodeResponseFrame(response));
       } catch (const ServeError& e) {
         if (alive) {
-          alive = SendAll(fd, EncodeErrorFrame(pending.front().id,
-                                               WireErrorCode(e.code()),
-                                               e.what()));
+          alive = send_frame(EncodeErrorFrame(pending.front().id,
+                                              WireErrorCode(e.code()),
+                                              e.what()));
         }
       } catch (const std::exception& e) {
         if (alive) {
-          alive = SendAll(fd,
-                          EncodeErrorFrame(pending.front().id, 0, e.what()));
+          alive = send_frame(
+              EncodeErrorFrame(pending.front().id, 0, e.what()));
         }
       }
+      obs::TraceRecorder::Global().Finish(pending.front().trace);
       pending.pop_front();
     }
     return alive;
@@ -503,18 +616,22 @@ void ServeBinaryConnection(InferenceServer* server, int fd) {
 
     char header[kFrameHeaderBytes];
     if (!RecvAll(fd, header, sizeof(header))) break;
+    tm.bytes_in->Increment(sizeof(header));
     FrameType type;
     std::uint32_t payload_len = 0;
     if (!ParseFrameHeader(header, &type, &payload_len, &error)) {
       // Hostile length or unknown type: framing is lost (or the peer
       // speaks a future dialect) — report and hang up, nothing to resync.
       flush_pending();
-      SendAll(fd, EncodeErrorFrame(0, malformed, error));
+      send_frame(EncodeErrorFrame(0, malformed, error));
       ::close(fd);
       return;
     }
     const std::shared_ptr<std::vector<char>> buffer = pool.Take(payload_len);
-    if (payload_len > 0 && !RecvAll(fd, buffer->data(), payload_len)) break;
+    if (payload_len > 0) {
+      if (!RecvAll(fd, buffer->data(), payload_len)) break;
+      tm.bytes_in->Increment(payload_len);
+    }
 
     if (type == FrameType::kRequest) {
       ServeRequest request;
@@ -524,7 +641,7 @@ void ServeBinaryConnection(InferenceServer* server, int fd) {
         // id offset 0..7 yielded), keep serving — the binary analogue of a
         // malformed JSON line.
         flush_pending();
-        SendAll(fd, EncodeErrorFrame(request.id, malformed, error));
+        send_frame(EncodeErrorFrame(request.id, malformed, error));
         continue;
       }
       // Pin the frame buffer for the request's lifetime: the feature view
@@ -533,15 +650,19 @@ void ServeBinaryConnection(InferenceServer* server, int fd) {
       // buffers, so the gather always reads the bytes this frame carried.
       request.frame_pin =
           std::shared_ptr<const void>(buffer, buffer->data());
+      request.trace = obs::TraceRecorder::Global().MaybeStart(
+          request.id, obs::kTransportBinary);
       const std::int64_t id = request.id;
+      auto trace = request.trace;
       try {
-        pending.push_back({id, server->QueryAsync(std::move(request))});
+        pending.push_back(
+            {id, server->QueryAsync(std::move(request)), std::move(trace)});
       } catch (const ServeError& e) {
         flush_pending();
-        SendAll(fd, EncodeErrorFrame(id, WireErrorCode(e.code()), e.what()));
+        send_frame(EncodeErrorFrame(id, WireErrorCode(e.code()), e.what()));
       } catch (const std::exception& e) {
         flush_pending();
-        SendAll(fd, EncodeErrorFrame(id, 0, e.what()));
+        send_frame(EncodeErrorFrame(id, 0, e.what()));
       }
       continue;
     }
@@ -551,28 +672,37 @@ void ServeBinaryConnection(InferenceServer* server, int fd) {
       if (!ParseAdminPayload(buffer->data(), payload_len, &verb, &model,
                              &path, &error)) {
         flush_pending();
-        SendAll(fd, EncodeErrorFrame(0, malformed, error));
+        send_frame(EncodeErrorFrame(0, malformed, error));
         continue;
       }
       flush_pending();
       switch (verb) {
         case AdminVerb::kStats:
-          SendAll(fd, EncodeAdminReplyFrame(server->StatsJson()));
+          send_frame(EncodeAdminReplyFrame(server->StatsJson()));
           break;
         case AdminVerb::kListModels:
-          SendAll(fd, EncodeAdminReplyFrame(server->ListModelsJson()));
+          send_frame(EncodeAdminReplyFrame(server->ListModelsJson()));
+          break;
+        case AdminVerb::kMetrics:
+          // Reply payload is the Prometheus text exposition, byte-for-byte
+          // the JSON transport's answer (one exposition, two framings).
+          send_frame(EncodeAdminReplyFrame(server->MetricsText()));
+          break;
+        case AdminVerb::kTrace:
+          send_frame(EncodeAdminReplyFrame(
+              obs::TraceRecorder::Global().TracesJson()));
           break;
         case AdminVerb::kPublish:
           try {
-            SendAll(fd, EncodeAdminReplyFrame(
-                            server->PublishFromFile(model, path)));
+            send_frame(EncodeAdminReplyFrame(
+                server->PublishFromFile(model, path)));
           } catch (const std::exception& e) {
-            SendAll(fd, EncodeErrorFrame(0, 0, e.what()));
+            send_frame(EncodeErrorFrame(0, 0, e.what()));
           }
           break;
         case AdminVerb::kDrain:
           server->BeginDrain();
-          SendAll(fd, EncodeAdminReplyFrame("{\"draining\": true}"));
+          send_frame(EncodeAdminReplyFrame("{\"draining\": true}"));
           break;
         case AdminVerb::kQuit:
           ::close(fd);
@@ -583,10 +713,10 @@ void ServeBinaryConnection(InferenceServer* server, int fd) {
     // A server-to-client frame type arriving at the server is a protocol
     // violation, not a recoverable payload defect — hang up.
     flush_pending();
-    SendAll(fd, EncodeErrorFrame(
-                    0, malformed,
-                    "unexpected frame type (clients send requests and "
-                    "admin frames only)"));
+    send_frame(EncodeErrorFrame(
+        0, malformed,
+        "unexpected frame type (clients send requests and "
+        "admin frames only)"));
     ::close(fd);
     return;
   }
@@ -643,14 +773,18 @@ int RunTcpServer(InferenceServer* server, int port,
   ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
   const int actual_port = ntohs(addr.sin_port);
 
-  std::cout << "serving on 127.0.0.1:" << actual_port << " (models="
+  // stderr, with the rest of the operational logging: stdout must stay
+  // machine-clean for callers like bench_serve whose stdout is parsed
+  // (the bench embeds two TCP servers and emits one JSON line).
+  std::cerr << "serving on 127.0.0.1:" << actual_port << " (models="
             << server->router().NameList() << ", "
             << server->session().num_nodes() << " nodes, "
             << server->session().num_classes() << " classes, threads="
             << server->options().threads << " max_batch="
             << server->options().max_batch << " max_wait_us="
             << server->options().max_wait_us
-            << ", transports=json+binary)" << std::endl;
+            << ", transports=json+binary, " << obs::BuildSummary() << ")"
+            << std::endl;
   if (bound_port != nullptr) {
     bound_port->store(actual_port, std::memory_order_release);
   }

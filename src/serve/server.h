@@ -125,6 +125,12 @@ class InferenceServer {
   /// The {"cmd": "list_models"} response (ModelRouter::ListModelsJson).
   std::string ListModelsJson() const { return router_.ListModelsJson(); }
 
+  /// The `metrics` admin verb's body: refreshes the scrape-time metric
+  /// mirrors (queue depth/peak, accepted totals) and renders the global
+  /// registry's Prometheus text exposition. Both transports answer with
+  /// exactly this string.
+  std::string MetricsText();
+
   /// Joins the batch workers; pending queries complete first.
   void Stop();
 
@@ -134,7 +140,7 @@ class InferenceServer {
 };
 
 /// Runs the TCP front end on 127.0.0.1:`port` (port 0 picks an ephemeral
-/// port). Prints one "serving on 127.0.0.1:<port> ..." line to stdout once
+/// port). Prints one "serving on 127.0.0.1:<port> ..." line to stderr once
 /// the socket is listening — and publishes the bound port to *bound_port
 /// when given, so in-process callers (tests) can connect to an ephemeral
 /// port — then accepts until `shutdown` (when given) becomes true or the

@@ -347,8 +347,17 @@ bool ParseRequestBody(const std::string& line, WireCommand* command,
       *command = WireCommand::kDrain;
       return true;
     }
+    if (cmd == "metrics") {
+      *command = WireCommand::kMetrics;
+      return true;
+    }
+    if (cmd == "trace") {
+      *command = WireCommand::kTrace;
+      return true;
+    }
     *error = "unknown cmd '" + cmd +
-             "' (want stats, list_models, publish, drain, or quit)";
+             "' (want stats, list_models, publish, drain, metrics, trace, "
+             "or quit)";
     return false;
   }
   if (!request->path.empty()) {

@@ -30,6 +30,13 @@
 // flushes (answers {"draining": true}; subsequent queries get a coded
 // "draining" rejection).
 //
+// Observability verbs: {"cmd": "metrics"} answers the process-wide
+// Prometheus text exposition — a multi-line response, terminated by a
+// "# EOF" line instead of the usual one-line framing (a bare `metrics`
+// line is accepted too, so `echo metrics | nc host port` scrapes without
+// JSON); {"cmd": "trace"} answers the last sampled per-request span
+// timelines as one JSON line (obs/trace.h).
+//
 // Structured rejections (overload, deadline, draining) carry a machine-
 // readable code alongside the message: {"id": 7, "code": "overloaded",
 // "error": "..."} — see serve_error.h for the code vocabulary.
@@ -71,6 +78,8 @@ enum class WireCommand {
   kQuit,        ///< {"cmd": "quit"} — close this connection
   kPublish,     ///< {"cmd": "publish", "model": ..., "path": ...} hot-swap
   kDrain,       ///< {"cmd": "drain"} — stop admitting, flush queued work
+  kMetrics,     ///< {"cmd": "metrics"} — Prometheus text, ends "# EOF"
+  kTrace,       ///< {"cmd": "trace"} — last sampled span timelines as JSON
 };
 
 /// Parses one request line. Returns false and fills *error on malformed

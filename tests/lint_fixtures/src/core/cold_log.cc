@@ -1,0 +1,7 @@
+// Fixture: GCON_LOG outside the no-hot-path-logging "only" list — cold
+// paths may log freely, so this file must produce NO finding.
+#include "common/logging.h"
+
+void LoadArtifact() {
+  GCON_LOG(INFO) << "loaded artifact";  // sanctioned: not a hot path
+}

@@ -1,0 +1,7 @@
+// Fixture: a log statement inside a GEMM kernel file — per-tile logging
+// is the pathological case no-hot-path-logging bans from src/linalg/.
+#include "common/logging.h"
+
+void MicroKernelTail() {
+  GCON_LOG(WARNING) << "fringe tile";  // live violation
+}

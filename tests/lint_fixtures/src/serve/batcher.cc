@@ -1,0 +1,9 @@
+// Fixture: a log statement in the micro-batcher's dispatch loop — the
+// exact construct no-hot-path-logging exists to catch (one mutex + one
+// write() syscall per batch, serialized across every worker).
+#include "common/logging.h"
+
+void WorkerMain() {
+  // GCON_LOG(INFO) << "commented-out copy must not count";
+  GCON_LOG(INFO) << "dispatching batch";  // live violation
+}

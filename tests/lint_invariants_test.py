@@ -35,6 +35,8 @@ EXPECTED = [
     ("gemm-reference", "src/core/uses_gemm_ref.cc"),
     ("nolint-reason", "src/core/bad_nolint.cc"),
     ("serve-zero-copy", "src/serve/copies_feature_view.cc"),
+    ("no-hot-path-logging", "src/linalg/hot_log.cc"),
+    ("no-hot-path-logging", "src/serve/batcher.cc"),
 ]
 
 
@@ -86,6 +88,13 @@ class LintInvariantsTest(unittest.TestCase):
                           if f["rule"] == "serve-zero-copy"]
         self.assertEqual(len(zero_copy_hits), 1)
         self.assertIn("assign", zero_copy_hits[0]["text"])
+        # no-hot-path-logging applies ONLY to the batcher and src/linalg/:
+        # the cold-path GCON_LOG fixture and batcher.cc's commented-out
+        # copy must not count.
+        hot_log_hits = [f for f in payload["findings"]
+                        if f["rule"] == "no-hot-path-logging"]
+        self.assertEqual(len(hot_log_hits), 2)
+        self.assertNotIn("src/core/cold_log.cc", files)
 
     def test_waiver_suppresses_exactly_one_finding(self):
         waivers = write_waivers([{
@@ -130,6 +139,10 @@ class LintInvariantsTest(unittest.TestCase):
             {"rule": "serve-zero-copy",
              "file": "src/serve/copies_feature_view.cc",
              "contains": "features.assign", "reason": "fixture"},
+            {"rule": "no-hot-path-logging", "file": "src/linalg/hot_log.cc",
+             "contains": "fringe tile", "reason": "fixture"},
+            {"rule": "no-hot-path-logging", "file": "src/serve/batcher.cc",
+             "contains": "dispatching batch", "reason": "fixture"},
         ]
         waivers = write_waivers(entries)
         try:

@@ -334,7 +334,8 @@ TEST_F(ServeConformanceTest, ErrorGoldensIncludingRecoveredIds) {
                    "or 'features', not both\"}"});
   cases.push_back({"unknown cmd", "{\"id\": 3, \"cmd\": \"reboot\"}",
                    "{\"id\": 3, \"error\": \"unknown cmd 'reboot' (want "
-                   "stats, list_models, publish, drain, or quit)\"}"});
+                   "stats, list_models, publish, drain, metrics, trace, "
+                   "or quit)\"}"});
   cases.push_back({"non-positive deadline",
                    "{\"id\": 13, \"node\": 1, \"deadline_us\": 0}",
                    "{\"id\": 13, \"error\": \"key 'deadline_us' wants a "

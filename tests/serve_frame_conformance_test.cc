@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <locale>
@@ -316,11 +317,16 @@ TEST(FrameFormatLock, RequestFrameRoundTrips) {
   request.features = {0.25, -1.5};
   const std::string frame = EncodeRequestFrame(request);
   ASSERT_GE(frame.size(), kFrameHeaderBytes);
+  // Parse from a 4-aligned payload buffer, as the server's pooled recv
+  // path guarantees — the zero-copy feature view is only dereferenceable
+  // under that contract (frame.data() + 5 would misalign the floats).
+  const std::size_t payload_len = frame.size() - kFrameHeaderBytes;
+  std::vector<std::uint32_t> aligned(payload_len / 4 + 1, 0);
+  std::memcpy(aligned.data(), frame.data() + kFrameHeaderBytes, payload_len);
+  const char* payload_bytes = reinterpret_cast<const char*>(aligned.data());
   ServeRequest decoded;
   std::string error;
-  ASSERT_TRUE(ParseRequestPayload(frame.data() + kFrameHeaderBytes,
-                                  frame.size() - kFrameHeaderBytes, &decoded,
-                                  &error))
+  ASSERT_TRUE(ParseRequestPayload(payload_bytes, payload_len, &decoded, &error))
       << error;
   EXPECT_EQ(decoded.id, 42);
   EXPECT_EQ(decoded.deadline_us, 1000);

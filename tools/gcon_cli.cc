@@ -55,6 +55,7 @@
 // Exit codes: 0 success, 2 usage error.
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <exception>
 #include <iostream>
 #include <stdexcept>
@@ -74,6 +75,7 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "model/adapters.h"
+#include "obs/trace.h"
 #include "rng/rng.h"
 #include "serve/inference_session.h"
 #include "serve/server.h"
@@ -108,6 +110,10 @@ const std::map<std::string, std::string> kSpec = {
                   "'overloaded'; 0 = unbounded (serve, default 4096)"},
     {"io_timeout_ms", "per-connection read/write timeout; stalled clients "
                       "are disconnected (serve, default 30000)"},
+    {"trace-sample", "record a span timeline for 1-in-N queries; 0 disables "
+                     "tracing (serve, default 64)"},
+    {"slow-query-us", "log any traced query slower than this many us, spans "
+                      "inline; 0 disables (serve, default 0)"},
 };
 
 std::string MethodListing() {
@@ -325,6 +331,18 @@ int CmdServe(const gcon::Flags& flags) {
     std::cerr << "serve: --port must be in [0, 65535]\n";
     return 2;
   }
+  const int trace_sample = flags.GetInt("trace-sample", 64);
+  if (trace_sample < 0) {
+    std::cerr << "serve: --trace-sample must be >= 0 (0 = off)\n";
+    return 2;
+  }
+  const int slow_query_us = flags.GetInt("slow-query-us", 0);
+  if (slow_query_us < 0) {
+    std::cerr << "serve: --slow-query-us must be >= 0 (0 = off)\n";
+    return 2;
+  }
+  gcon::obs::TraceRecorder::Global().Configure(
+      static_cast<std::uint32_t>(trace_sample), slow_query_us);
 
   try {
     // Every model serves the same population: one graph in memory, shared

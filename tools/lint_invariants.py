@@ -48,6 +48,17 @@ violation before it becomes a silent race or a broken memcmp proof:
                       per-query allocation the zero-copy path deleted.
                       Waiverable like every rule, for the day a copy is
                       the right call.
+  no-hot-path-logging GCON_LOG is forbidden in the serving hot loop
+                      (src/serve/batcher.cc) and the GEMM kernels
+                      (src/linalg/) — a log line there serializes every
+                      worker on the logging mutex and one write() syscall
+                      per batch (or worse, per tile). Observability for
+                      those paths is the metrics registry and the sampled
+                      trace ring (src/obs/), which are lock-free on the
+                      hot path; the slow-query log lives in
+                      src/obs/trace.cc where it fires only on sampled,
+                      already-slow requests. Waiverable for a genuine
+                      cold-path diagnostic.
 
 Checks run on comment-stripped text (string literals are preserved), so a
 doc comment *describing* a forbidden pattern does not trip the gate.
@@ -72,6 +83,10 @@ import sys
 # Rule = (id, description, pattern, scanned top-level dirs, allowed path
 # prefixes). Paths are repo-relative with forward slashes; a file whose
 # relative path starts with an allowed prefix is exempt from that rule.
+# An optional "only" list inverts the scoping: the rule applies ONLY to
+# files whose relative path starts with one of the listed prefixes (the
+# shape of hot-path rules, which ban a construct in a few named places
+# rather than everywhere-but).
 RULES = [
     {
         "id": "no-raw-threads",
@@ -147,6 +162,15 @@ RULES = [
             r"[^;]*feature_view"),
         "scan": ["src"],
         "allow": [],
+    },
+    {
+        "id": "no-hot-path-logging",
+        "summary": "GCON_LOG on a serving/GEMM hot path (use the metrics "
+                   "registry / sampled trace ring in src/obs/ instead)",
+        "pattern": re.compile(r"\bGCON_LOG\s*\("),
+        "scan": ["src"],
+        "allow": [],
+        "only": ["src/serve/batcher.cc", "src/linalg/"],
     },
 ]
 
@@ -252,6 +276,9 @@ def collect_findings(root):
                 continue
             if any(rel.startswith(prefix) for prefix in rule["allow"]):
                 continue
+            only = rule.get("only")
+            if only and not any(rel.startswith(prefix) for prefix in only):
+                continue
             lines = raw_lines if rule.get("raw") else stripped
             for lineno, line in enumerate(lines, start=1):
                 if rule["pattern"].search(line):
@@ -331,6 +358,8 @@ def main():
         for rule in RULES:
             print(f"{rule['id']}: {rule['summary']}")
             print(f"    scans: {', '.join(rule['scan'])}"
+                  + (f"; only: {', '.join(rule['only'])}"
+                     if rule.get("only") else "")
                   + (f"; exempt: {', '.join(rule['allow'])}"
                      if rule["allow"] else ""))
         return 0

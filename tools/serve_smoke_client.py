@@ -13,6 +13,11 @@ feature-carrying query to the default model — smoke for the multi-model
 and unseen-node paths. Their answers are checked for shape, not content
 (the offline diff covers the default model's content).
 
+Finally it scrapes the Prometheus `metrics` surface (the bare-line
+spelling, the same one `echo metrics | nc` uses) and asserts the summed
+gcon_serve_accepted_total counters equal the queries this client sent —
+end-to-end proof the admission counters count.
+
 Usage: serve_smoke_client.py <port> <nodes> [connect_timeout_s]
 Exits non-zero on connection failure, an error response, or a short read.
 """
@@ -44,6 +49,22 @@ def ask(stream, request: dict) -> dict:
     if "error" in response:
         raise RuntimeError(f"server error: {response['error']}")
     return response
+
+
+def scrape_metrics(stream) -> list:
+    """Asks for the Prometheus exposition via the bare `metrics` line and
+    returns its lines (terminator excluded). The "# EOF" sentinel is the
+    framing: exposition text spans many lines on a newline-framed wire."""
+    stream.write("metrics\n")
+    stream.flush()
+    lines = []
+    while True:
+        line = stream.readline()
+        if not line:
+            raise RuntimeError("short read during metrics scrape")
+        if line.strip() == "# EOF":
+            return lines
+        lines.append(line.rstrip("\n"))
 
 
 def main() -> int:
@@ -91,6 +112,17 @@ def main() -> int:
               file=sys.stderr)
         stats = ask(stream, {"cmd": "stats"})
         print(f"server stats: {json.dumps(stats)}", file=sys.stderr)
+        metrics = scrape_metrics(stream)
+        accepted = sum(
+            float(line.rsplit(" ", 1)[1]) for line in metrics
+            if line.startswith("gcon_serve_accepted_total"))
+        routed = sum(1 for model in catalog["models"]
+                     if model["name"] != catalog["default"])
+        sent = nodes + routed + 1  # sweep + routed probes + inductive
+        assert accepted == sent, (accepted, sent)
+        print(f"metrics scrape: {len(metrics)} lines; "
+              f"accepted counters sum to {accepted:.0f} == {sent} sent",
+              file=sys.stderr)
     except (RuntimeError, AssertionError) as failure:
         print(failure, file=sys.stderr)
         return 1
