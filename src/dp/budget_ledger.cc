@@ -1,0 +1,368 @@
+#include "dp/budget_ledger.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <locale>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#include "common/logging.h"
+#include "serve/fault_injection.h"
+
+namespace gcon {
+namespace {
+
+constexpr const char kLedgerHeader[] = "gcon-budget-ledger v1";
+
+bool ParseU64(const std::string& token, std::uint64_t* out) {
+  if (token.empty()) return false;
+  const char* first = token.data();
+  const char* last = first + token.size();
+  const std::from_chars_result result = std::from_chars(first, last, *out);
+  return result.ec == std::errc() && result.ptr == last;
+}
+
+/// Locale-independent double parse (the file must read back identically no
+/// matter what LC_NUMERIC the host process runs under).
+bool ParseLedgerDouble(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  const char* first = token.data();
+  const char* last = first + token.size();
+  const std::from_chars_result result = std::from_chars(first, last, *out);
+  return result.ec == std::errc() && result.ptr == last;
+}
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t space = line.find(' ', pos);
+    if (space == std::string::npos) {
+      tokens.push_back(line.substr(pos));
+      break;
+    }
+    tokens.push_back(line.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  return tokens;
+}
+
+[[noreturn]] void Corrupt(const std::string& path, std::size_t line_number,
+                          const std::string& why) {
+  throw std::runtime_error("budget ledger '" + path + "': corrupt record at line " +
+                           std::to_string(line_number) + " (" + why + ")");
+}
+
+}  // namespace
+
+BudgetLedger::BudgetLedger() = default;
+
+BudgetLedger::BudgetLedger(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) {
+    throw std::invalid_argument("budget ledger path must not be empty");
+  }
+  OpenAndReplay();
+}
+
+BudgetLedger::~BudgetLedger() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void BudgetLedger::OpenAndReplay() {
+  std::string content;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      content = buffer.str();
+    }
+  }
+
+  std::size_t good_end = 0;
+  if (!content.empty()) {
+    std::size_t eol = content.find('\n');
+    if (eol == std::string::npos ||
+        content.compare(0, eol, kLedgerHeader) != 0) {
+      throw std::runtime_error("budget ledger '" + path_ + "': not a " +
+                               std::string(kLedgerHeader) + " file");
+    }
+    good_end = eol + 1;
+    std::size_t pos = good_end;
+    std::size_t line_number = 2;
+    while (pos < content.size()) {
+      eol = content.find('\n', pos);
+      if (eol == std::string::npos) {
+        // Torn tail: the process died inside this record's write. Records
+        // are durable BEFORE their operation proceeds, so the operation
+        // never happened — drop the tail and the history stays truthful.
+        GCON_LOG(WARNING) << "budget ledger '" << path_
+                          << "': recovering torn trailing record ("
+                          << content.size() - pos << " bytes dropped)";
+        break;
+      }
+      const std::string line = content.substr(pos, eol - pos);
+      const std::vector<std::string> tokens = SplitTokens(line);
+      if (tokens.empty()) Corrupt(path_, line_number, "empty record");
+      if (tokens[0] == "R") {
+        // R <seq> <graph-fp> <epsilon> <delta> <artifact-fp> <ts> <model>
+        Reservation r;
+        std::uint64_t timestamp = 0;
+        if (tokens.size() < 8 || !ParseU64(tokens[1], &r.seq) ||
+            !ParseU64(tokens[2], &r.graph_fingerprint) ||
+            !ParseLedgerDouble(tokens[3], &r.epsilon) ||
+            !ParseLedgerDouble(tokens[4], &r.delta) ||
+            !ParseU64(tokens[5], &r.artifact_fingerprint) ||
+            !ParseU64(tokens[6], &timestamp)) {
+          Corrupt(path_, line_number, "bad reserve record");
+        }
+        r.model = tokens[7];
+        for (std::size_t t = 8; t < tokens.size(); ++t) {
+          r.model += ' ';
+          r.model += tokens[t];
+        }
+        if (unresolved_.count(r.seq) != 0) {
+          Corrupt(path_, line_number, "duplicate reservation seq");
+        }
+        Entry& entry = entries_[Key(r.graph_fingerprint, r.model)];
+        entry.totals.epsilon += r.epsilon;
+        entry.totals.delta += r.delta;
+        entry.totals.publishes += 1;
+        unresolved_[r.seq] = r;
+        if (r.seq >= next_seq_) next_seq_ = r.seq + 1;
+      } else if (tokens[0] == "C" || tokens[0] == "A") {
+        std::uint64_t seq = 0;
+        if (tokens.size() != 2 || !ParseU64(tokens[1], &seq)) {
+          Corrupt(path_, line_number, "bad resolution record");
+        }
+        const auto it = unresolved_.find(seq);
+        if (it == unresolved_.end()) {
+          Corrupt(path_, line_number, "resolution of unknown reservation");
+        }
+        const Reservation& r = it->second;
+        Entry& entry = entries_[Key(r.graph_fingerprint, r.model)];
+        if (tokens[0] == "C") {
+          entry.has_committed = true;
+          entry.last_committed_artifact = r.artifact_fingerprint;
+        } else {
+          // Aborted: the publish failed before its swap — refund.
+          entry.totals.epsilon -= r.epsilon;
+          entry.totals.delta -= r.delta;
+          entry.totals.publishes -= 1;
+        }
+        unresolved_.erase(it);
+      } else {
+        Corrupt(path_, line_number, "unknown record kind '" + tokens[0] + "'");
+      }
+      good_end = eol + 1;
+      pos = eol + 1;
+      ++line_number;
+    }
+  }
+  // Reservations with neither C nor A are a crash mid-publish: the swap
+  // may have completed before its commit record landed, so their charges
+  // STAY (privacy errs toward over-counting) — but no handle survives to
+  // resolve them, so they leave the unresolved map.
+  if (!unresolved_.empty()) {
+    GCON_LOG(WARNING) << "budget ledger '" << path_ << "': "
+                      << unresolved_.size()
+                      << " reservation(s) unresolved by a crash stay charged";
+    unresolved_.clear();
+  }
+
+  fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("budget ledger: cannot open '" + path_ + "' (" +
+                             std::strerror(errno) + ")");
+  }
+  if (content.empty()) {
+    AppendDurableLocked(kLedgerHeader);
+  } else if (good_end < content.size()) {
+    if (::ftruncate(fd_, static_cast<off_t>(good_end)) != 0) {
+      throw std::runtime_error("budget ledger: cannot truncate torn tail of '" +
+                               path_ + "' (" + std::strerror(errno) + ")");
+    }
+    ::fsync(fd_);
+  }
+}
+
+void BudgetLedger::AppendDurableLocked(const std::string& line) {
+  if (fd_ == -1) return;  // in-memory ledger: arithmetic only
+  if (fd_ < -1) {
+    throw std::runtime_error(
+        "budget ledger '" + path_ +
+        "': unusable after a failed write (reopen to recover)");
+  }
+  std::string data = line;
+  data.push_back('\n');
+  if (FaultInjector::Global().ShouldFire(Fault::kTornLedgerWrite)) {
+    // Chaos site: half the record lands, then the "process dies" — the
+    // torn tail OpenAndReplay must truncate away. The in-process object
+    // poisons itself (a crashed writer does not keep writing).
+    const std::size_t half = data.size() / 2;
+    if (half > 0) {
+      [[maybe_unused]] const ssize_t n = ::write(fd_, data.data(), half);
+    }
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -2;
+    throw std::runtime_error("budget ledger '" + path_ +
+                             "': injected torn write");
+  }
+  const off_t before = ::lseek(fd_, 0, SEEK_END);
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd_, data.data() + written, data.size() - written);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // Best-effort rollback so later appends don't land after a torn
+      // line; if even that fails, poison — recovery happens at reopen.
+      if (before < 0 || ::ftruncate(fd_, before) != 0) {
+        ::close(fd_);
+        fd_ = -2;
+      }
+      throw std::runtime_error("budget ledger: write to '" + path_ +
+                               "' failed (" + std::strerror(errno) + ")");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("budget ledger: fsync of '" + path_ +
+                             "' failed (" + std::strerror(errno) + ")");
+  }
+}
+
+std::string BudgetLedger::FormatReserveLine(
+    const Reservation& reservation) const {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());  // the file is locale-invariant
+  out.precision(17);
+  out << "R " << reservation.seq << ' ' << reservation.graph_fingerprint
+      << ' ' << reservation.epsilon << ' ' << reservation.delta << ' '
+      << reservation.artifact_fingerprint << ' '
+      << static_cast<std::uint64_t>(std::time(nullptr)) << ' '
+      << reservation.model;
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void ThrowExhausted(const std::string& model, double charged,
+                                 double requested, double cap) {
+  std::ostringstream msg;
+  msg.imbue(std::locale::classic());
+  msg.precision(17);
+  msg << "release of model '" << model << "' refused: cumulative epsilon "
+      << charged << " + " << requested << " exceeds budget cap " << cap;
+  throw BudgetExhaustedError(msg.str());
+}
+
+}  // namespace
+
+BudgetLedger::Reservation BudgetLedger::Reserve(
+    std::uint64_t graph_fingerprint, const std::string& model, double epsilon,
+    double delta, std::uint64_t artifact_fingerprint, double cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[Key(graph_fingerprint, model)];
+  // Check-and-charge under one lock: a second concurrent publish sees this
+  // reservation's charge and cannot jointly overshoot the cap. Reaching
+  // the cap exactly is allowed; exceeding it is not.
+  if (cap > 0 && entry.totals.epsilon + epsilon > cap) {
+    ThrowExhausted(model, entry.totals.epsilon, epsilon, cap);
+  }
+  Reservation reservation{next_seq_, graph_fingerprint, model,
+                          epsilon,   delta,             artifact_fingerprint};
+  AppendDurableLocked(FormatReserveLine(reservation));
+  ++next_seq_;
+  entry.totals.epsilon += epsilon;
+  entry.totals.delta += delta;
+  entry.totals.publishes += 1;
+  unresolved_[reservation.seq] = reservation;
+  return reservation;
+}
+
+double BudgetLedger::Commit(const Reservation& reservation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = unresolved_.find(reservation.seq);
+  if (it == unresolved_.end()) {
+    throw std::logic_error("budget ledger: commit of an unknown reservation");
+  }
+  // If this append fails the charge simply stays (the swap already
+  // happened; a lost commit record must never refund a real release).
+  AppendDurableLocked("C " + std::to_string(reservation.seq));
+  unresolved_.erase(it);
+  Entry& entry =
+      entries_[Key(reservation.graph_fingerprint, reservation.model)];
+  entry.has_committed = true;
+  entry.last_committed_artifact = reservation.artifact_fingerprint;
+  return entry.totals.epsilon;
+}
+
+void BudgetLedger::Abort(const Reservation& reservation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = unresolved_.find(reservation.seq);
+  if (it == unresolved_.end()) {
+    throw std::logic_error("budget ledger: abort of an unknown reservation");
+  }
+  AppendDurableLocked("A " + std::to_string(reservation.seq));
+  unresolved_.erase(it);
+  Entry& entry =
+      entries_[Key(reservation.graph_fingerprint, reservation.model)];
+  entry.totals.epsilon -= reservation.epsilon;
+  entry.totals.delta -= reservation.delta;
+  entry.totals.publishes -= 1;
+}
+
+double BudgetLedger::AccountArtifact(std::uint64_t graph_fingerprint,
+                                     const std::string& model, double epsilon,
+                                     double delta,
+                                     std::uint64_t artifact_fingerprint,
+                                     double cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[Key(graph_fingerprint, model)];
+  if (entry.has_committed &&
+      entry.last_committed_artifact == artifact_fingerprint) {
+    // A restart serving the ledger's own last release: those bits were
+    // already charged — restore the total, never re-spend (and never
+    // RESET to the artifact's own epsilon).
+    return entry.totals.epsilon;
+  }
+  if (cap > 0 && entry.totals.epsilon + epsilon > cap) {
+    ThrowExhausted(model, entry.totals.epsilon, epsilon, cap);
+  }
+  Reservation reservation{next_seq_, graph_fingerprint, model,
+                          epsilon,   delta,             artifact_fingerprint};
+  AppendDurableLocked(FormatReserveLine(reservation));
+  ++next_seq_;
+  entry.totals.epsilon += epsilon;
+  entry.totals.delta += delta;
+  entry.totals.publishes += 1;
+  // Charge already durable and in memory; if the commit append fails the
+  // reservation replays as crash-unresolved — still charged, consistent.
+  AppendDurableLocked("C " + std::to_string(reservation.seq));
+  entry.has_committed = true;
+  entry.last_committed_artifact = artifact_fingerprint;
+  return entry.totals.epsilon;
+}
+
+BudgetLedger::BudgetTotals BudgetLedger::Totals(
+    std::uint64_t graph_fingerprint, const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(Key(graph_fingerprint, model));
+  return it == entries_.end() ? BudgetTotals{} : it->second.totals;
+}
+
+double BudgetLedger::TotalEpsilon(std::uint64_t graph_fingerprint,
+                                  const std::string& model) const {
+  return Totals(graph_fingerprint, model).epsilon;
+}
+
+}  // namespace gcon

@@ -1,0 +1,184 @@
+// Persistent privacy-budget ledger — the durable half of the repeated-
+// release accounting story (the train→publish→serve ROADMAP item).
+//
+// The epsilon a GCON artifact carries is a receipt for ONE release. A
+// serving system that hot-swaps retrained artifacts over the same
+// population spends fresh budget on every publish (GAP-style composition:
+// each release of a model trained on the same nodes is a new query against
+// the same private data), so the running total must survive restarts,
+// crashes, and in-process server reconstruction — an in-memory gauge that
+// resets to the incoming artifact's own epsilon silently forgets every
+// prior release. This ledger is the system of record the gauge mirrors.
+//
+// Format: a human-readable append-only record file,
+//
+//   gcon-budget-ledger v1
+//   R <seq> <graph-fp> <epsilon> <delta> <artifact-fp> <ts> <model>
+//   C <seq>
+//   A <seq>
+//
+// (fingerprints and seq as decimal u64, doubles at precision 17 in the
+// classic locale — the file reads back identically under any LC_NUMERIC)
+//
+// keyed by (graph fingerprint, model name): FingerprintGraph of the
+// serving population plus the published name identify "the same model
+// trained on the same nodes" across processes. Every record line is
+// written with one write(2) and fsync'd before the operation it describes
+// proceeds, so the file on disk is always a prefix of the true history.
+//
+// Two-phase accounting: Reserve appends an R record (charging the epsilon
+// immediately — see below), the caller attempts the swap, then Commit (C)
+// or Abort (A) resolves the reservation. An aborted reservation refunds
+// its charge, so a failed publish — unreadable artifact, population
+// mismatch, refused swap — never spends budget.
+//
+// Crash recovery (replay on open):
+//   * A torn FINAL line (no trailing newline, or unparseable) is the tail
+//     of a write the process died inside; the operation it describes never
+//     proceeded (records are durable BEFORE their effect), so the tail is
+//     truncated away and replay continues from a consistent prefix.
+//   * An unparseable line in the MIDDLE of the file is corruption, not a
+//     torn write — the ledger refuses to open rather than guess a total.
+//   * A reservation with neither C nor A (crash mid-publish) stays
+//     CHARGED: the swap may have completed before the commit record was
+//     written, and privacy accounting must err toward over-counting a
+//     release that never escaped, never toward forgetting one that did.
+//
+// Enforcement: Reserve takes the caller's cap (0 = unlimited) and throws
+// BudgetExhaustedError — without writing anything — when the charge would
+// push the key's total past it. The check and the charge happen under one
+// lock, so two concurrent publishes cannot jointly overshoot the cap.
+//
+// The default-constructed ledger is in-memory (no file, nothing survives
+// the object): it gives a server with no --budget-ledger flag the same
+// reserve/commit arithmetic and cap enforcement, just without durability.
+//
+// Thread-safe; every public method locks. No raw threads, no RNG, no
+// dependence on the serve tier (the server translates
+// BudgetExhaustedError into its wire-coded rejection).
+#ifndef GCON_DP_BUDGET_LEDGER_H_
+#define GCON_DP_BUDGET_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace gcon {
+
+/// Thrown by Reserve/AccountArtifact when a charge would exceed the cap.
+/// Deliberately NOT a ServeError: the dp tier does not know about wire
+/// codes; the serve tier catches this and re-throws its coded rejection.
+class BudgetExhaustedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BudgetLedger {
+ public:
+  /// A charged-but-unresolved release. Returned by Reserve; pass to
+  /// exactly one of Commit or Abort.
+  struct Reservation {
+    std::uint64_t seq = 0;
+    std::uint64_t graph_fingerprint = 0;
+    std::string model;
+    double epsilon = 0.0;
+    double delta = 0.0;
+    std::uint64_t artifact_fingerprint = 0;
+  };
+
+  /// Per-key accounting snapshot (see Totals()).
+  struct BudgetTotals {
+    double epsilon = 0.0;        ///< charged (committed + unresolved) sum
+    double delta = 0.0;          ///< basic-composition delta sum
+    std::uint64_t publishes = 0; ///< charged releases
+  };
+
+  /// In-memory ledger: full reserve/commit/abort + cap semantics, no file.
+  BudgetLedger();
+
+  /// Persistent ledger bound to `path`. Creates the file if absent;
+  /// otherwise replays it (recovering a torn tail — see file comment).
+  /// Throws std::runtime_error on an unopenable or corrupt file.
+  explicit BudgetLedger(std::string path);
+
+  ~BudgetLedger();
+  BudgetLedger(const BudgetLedger&) = delete;
+  BudgetLedger& operator=(const BudgetLedger&) = delete;
+
+  /// Charges `epsilon`/`delta` against (graph_fingerprint, model), durably
+  /// (R record fsync'd before return). Throws BudgetExhaustedError — and
+  /// writes nothing — when cap > 0 and the key's charged total would
+  /// exceed it; throws std::runtime_error if the record cannot be made
+  /// durable (disk failure / injected torn write), in which case the
+  /// in-memory total is also untouched.
+  Reservation Reserve(std::uint64_t graph_fingerprint,
+                      const std::string& model, double epsilon, double delta,
+                      std::uint64_t artifact_fingerprint, double cap);
+
+  /// Marks the reservation's release as completed (C record). The charge
+  /// was already taken at Reserve; this makes it permanent and remembers
+  /// the artifact fingerprint as the key's live release. Returns the
+  /// key's charged epsilon total after the commit.
+  double Commit(const Reservation& reservation);
+
+  /// Refunds the reservation (A record): the publish failed before the
+  /// swap, so no release happened and no budget is spent.
+  void Abort(const Reservation& reservation);
+
+  /// Startup accounting for an artifact loaded from disk: if `
+  /// artifact_fingerprint` already is the key's last committed release
+  /// (a restart serving the same bits), nothing is charged; otherwise the
+  /// load is a fresh release and is reserved+committed inline (subject to
+  /// `cap`, like Reserve). Returns the key's charged epsilon total either
+  /// way — the value the gcon_dp_epsilon gauge must show.
+  double AccountArtifact(std::uint64_t graph_fingerprint,
+                         const std::string& model, double epsilon,
+                         double delta, std::uint64_t artifact_fingerprint,
+                         double cap);
+
+  /// Charged totals for one key (zeroes for a key never seen).
+  BudgetTotals Totals(std::uint64_t graph_fingerprint,
+                      const std::string& model) const;
+
+  /// Charged epsilon for one key (Totals().epsilon).
+  double TotalEpsilon(std::uint64_t graph_fingerprint,
+                      const std::string& model) const;
+
+  bool persistent() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::string>;
+
+  struct Entry {
+    BudgetTotals totals;
+    std::uint64_t last_committed_artifact = 0;
+    bool has_committed = false;
+  };
+
+  /// Replays `path_` into entries_/next_seq_, truncating a torn tail.
+  /// Creates the file (header only) when absent.
+  void OpenAndReplay();
+
+  /// Appends one record line durably (write + fsync) or throws without
+  /// side effects. Caller holds mu_. The torn-write fault hook
+  /// (Fault::kTornLedgerWrite) fires here: half the bytes land, then the
+  /// write "fails" — exactly the tail OpenAndReplay must recover from.
+  void AppendDurableLocked(const std::string& line);
+
+  std::string FormatReserveLine(const Reservation& reservation) const;
+
+  mutable std::mutex mu_;
+  std::string path_;
+  int fd_ = -1;  ///< -1 for the in-memory ledger
+  std::uint64_t next_seq_ = 1;
+  std::map<Key, Entry> entries_;
+  std::map<std::uint64_t, Reservation> unresolved_;
+};
+
+}  // namespace gcon
+
+#endif  // GCON_DP_BUDGET_LEDGER_H_

@@ -37,6 +37,11 @@ void ServeOptions::Validate() const {
         std::to_string(max_queue) + ")");
   }
   if (io_timeout_ms < 1) BadOption("io_timeout_ms", io_timeout_ms);
+  if (budget_cap < 0) {
+    throw std::invalid_argument(
+        "serve option 'budget_cap' must be >= 0 (0 = unlimited; got " +
+        std::to_string(budget_cap) + ")");
+  }
 }
 
 MicroBatcher::MicroBatcher(ServeOptions options, BatchHandler handler)

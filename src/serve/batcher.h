@@ -64,6 +64,18 @@ struct ServeOptions {
   /// stalls (sends nothing, or stops reading its responses) past this is
   /// disconnected instead of pinning its connection thread forever.
   int io_timeout_ms = 30000;
+  /// Path of the persistent privacy-budget ledger (dp/budget_ledger.h).
+  /// Empty (the default) keeps the accounting in-memory: same
+  /// reserve/commit arithmetic and cap enforcement, nothing survives the
+  /// process. With a path, cumulative per-model epsilon survives restarts
+  /// and the gcon_dp_epsilon gauge is RESTORED from the ledger, never
+  /// reset from the artifact's own receipt.
+  std::string budget_ledger;
+  /// Cumulative-epsilon cap per (population, model): a publish (or startup
+  /// artifact load) that would push the charged total past this is refused
+  /// with a coded "budget_exhausted" error and the served bits stay on the
+  /// old artifact. 0 (the default) = unlimited.
+  double budget_cap = 0.0;
 
   /// Throws std::invalid_argument naming the offending knob when a value
   /// is out of range (mirrors the CLI's strict flag validation).

@@ -10,7 +10,7 @@ namespace {
 
 constexpr const char* kFaultNames[kNumFaults] = {
     "queue_full", "slow_handler", "mid_batch_throw", "torn_socket",
-    "swap_during_batch",
+    "swap_during_batch", "torn_ledger_write",
 };
 
 int FaultIndexByName(const std::string& name) {

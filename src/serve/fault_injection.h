@@ -40,9 +40,10 @@ enum class Fault : int {
   kMidBatchThrow,     ///< batch handler throws mid-batch
   kTornSocket,        ///< TCP write sends half a line, then kills the socket
   kSwapDuringBatch,   ///< runs the installed callback inside a batch window
+  kTornLedgerWrite,   ///< budget-ledger append lands half its bytes, then dies
 };
 
-inline constexpr int kNumFaults = 5;
+inline constexpr int kNumFaults = 6;
 
 const char* FaultName(Fault fault);
 

@@ -113,6 +113,8 @@ std::uint32_t WireErrorCode(ServeErrorCode code) {
       return 3;
     case ServeErrorCode::kMalformedFrame:
       return 4;
+    case ServeErrorCode::kBudgetExhausted:
+      return 5;
   }
   return 0;
 }
@@ -393,12 +395,13 @@ bool ParseAdminPayload(const char* payload, std::size_t len, AdminVerb* verb,
     case static_cast<std::uint32_t>(AdminVerb::kDrain):
     case static_cast<std::uint32_t>(AdminVerb::kMetrics):
     case static_cast<std::uint32_t>(AdminVerb::kTrace):
+    case static_cast<std::uint32_t>(AdminVerb::kBudget):
       *verb = static_cast<AdminVerb>(raw_verb);
       break;
     default:
       *error = "unknown admin verb " + std::to_string(raw_verb) +
                " (want stats=1, list_models=2, quit=3, publish=4, drain=5, "
-               "metrics=6, trace=7)";
+               "metrics=6, trace=7, budget=8)";
       return false;
   }
   const std::uint64_t want = static_cast<std::uint64_t>(kAdminHeaderBytes) +

@@ -72,7 +72,7 @@
 // ServeErrorCode binary encodings (wire-stable, locked by the binary
 // conformance goldens): 0 = uncoded (prose-only rejection, e.g. unknown
 // model), 1 = overloaded, 2 = deadline_exceeded, 3 = draining,
-// 4 = malformed_frame.
+// 4 = malformed_frame, 5 = budget_exhausted.
 #ifndef GCON_SERVE_FRAME_H_
 #define GCON_SERVE_FRAME_H_
 
@@ -127,6 +127,7 @@ enum class AdminVerb : std::uint32_t {
   kDrain = 5,
   kMetrics = 6,  ///< reply payload is Prometheus text, not JSON
   kTrace = 7,    ///< last sampled span timelines as one JSON document
+  kBudget = 8,   ///< per-model DP budget totals/caps (the "budget" cmd)
 };
 
 /// A decoded error frame (client-side decoding; servers encode).

@@ -37,6 +37,41 @@ std::vector<int> SanitizeEdges(const std::vector<int>& edges, int self,
   return sanitized;
 }
 
+std::uint64_t Fnv1a(const void* data, std::size_t len, std::uint64_t hash) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// Content hash of a release: the trained weights plus the privacy
+/// receipt. Two independently trained artifacts collide only if their
+/// theta bytes (and receipt) are identical — which, for the ledger's
+/// "same release reloaded?" question, IS the same release.
+std::uint64_t FingerprintArtifact(const GconArtifact& artifact) {
+  std::uint64_t hash = 14695981039346656037ull;
+  hash = Fnv1a(&artifact.epsilon, sizeof(artifact.epsilon), hash);
+  hash = Fnv1a(&artifact.delta, sizeof(artifact.delta), hash);
+  hash = Fnv1a(&artifact.alpha, sizeof(artifact.alpha), hash);
+  hash = Fnv1a(&artifact.alpha_inference, sizeof(artifact.alpha_inference),
+               hash);
+  if (!artifact.steps.empty()) {
+    hash = Fnv1a(artifact.steps.data(),
+                 artifact.steps.size() * sizeof(int), hash);
+  }
+  const std::uint64_t rows = artifact.theta.rows();
+  const std::uint64_t cols = artifact.theta.cols();
+  hash = Fnv1a(&rows, sizeof(rows), hash);
+  hash = Fnv1a(&cols, sizeof(cols), hash);
+  if (!artifact.theta.empty()) {
+    hash = Fnv1a(artifact.theta.data(),
+                 artifact.theta.size() * sizeof(double), hash);
+  }
+  return hash;
+}
+
 }  // namespace
 
 void InferenceSession::InitArtifact(GconArtifact artifact,
@@ -73,6 +108,7 @@ void InferenceSession::InitArtifact(GconArtifact artifact,
                std::to_string(artifact_->steps.size() * encoded_.cols()));
   }
   num_classes_ = artifact_->theta.cols();
+  artifact_fp_ = FingerprintArtifact(*artifact_);
 }
 
 InferenceSession::InferenceSession(GconArtifact artifact, Graph graph)

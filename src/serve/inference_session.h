@@ -188,6 +188,15 @@ class InferenceSession {
   double artifact_epsilon() const {
     return artifact_ ? artifact_->epsilon : 0.0;
   }
+  /// The artifact's delta half of the receipt (0 in precomputed mode).
+  double artifact_delta() const {
+    return artifact_ ? artifact_->delta : 0.0;
+  }
+  /// Content fingerprint of the loaded artifact (theta bytes, steps, and
+  /// the privacy receipt; 0 in precomputed-logits mode). The budget ledger
+  /// uses it to tell "a restart serving the same release" (already
+  /// charged) from "a fresh release" (charge again).
+  std::uint64_t artifact_fingerprint() const { return artifact_fp_; }
 
   /// Throws std::invalid_argument when `request` cannot be served (node out
   /// of range; edges/features in precomputed-logits mode; features of the
@@ -243,6 +252,7 @@ class InferenceSession {
 
   // Artifact mode (empty in precomputed-logits mode).
   std::optional<GconArtifact> artifact_;
+  std::uint64_t artifact_fp_ = 0;  ///< content hash, set by InitArtifact
   Matrix encoded_;        ///< X̄ after row normalization (n x d1)
   double alpha_inf_ = 0;  ///< resolved inference restart probability
   /// BuildTransition(graph_) via PropagationCache — rows are read verbatim

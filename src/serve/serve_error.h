@@ -25,6 +25,7 @@ enum class ServeErrorCode {
   kDeadlineExceeded,  ///< the query's deadline_us passed before execution
   kDraining,          ///< server is draining/stopped; no new queries
   kMalformedFrame,    ///< binary frame violated the codec (bounds, dims, …)
+  kBudgetExhausted,   ///< publish refused: would exceed --budget-cap epsilon
 };
 
 inline const char* ServeErrorCodeName(ServeErrorCode code) {
@@ -37,6 +38,8 @@ inline const char* ServeErrorCodeName(ServeErrorCode code) {
       return "draining";
     case ServeErrorCode::kMalformedFrame:
       return "malformed_frame";
+    case ServeErrorCode::kBudgetExhausted:
+      return "budget_exhausted";
   }
   return "unknown";
 }

@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "dp/budget_ledger.h"
 #include "linalg/ops.h"
 #include "obs/build_info.h"
+#include "propagation/cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/fault_injection.h"
@@ -42,10 +44,11 @@ std::vector<ModelRouter::NamedModel> SingleModel(InferenceSession session) {
 }
 
 /// Cumulative privacy budget released for one model name. GAP-style
-/// repeated-release accounting: the gauge starts at the served artifact's
-/// epsilon and every publish ADDS the incoming artifact's epsilon — each
-/// release of a model trained on the same population spends fresh budget,
-/// and an operator watching gcon_dp_epsilon sees the running total.
+/// repeated-release accounting: the gauge MIRRORS the budget ledger's
+/// charged total for (population, model) — restored from the ledger at
+/// construction (a restart, or a second server in the same process, must
+/// show the running total, never the incoming artifact's own epsilon) and
+/// re-set to the new total after every committed publish.
 obs::Gauge* EpsilonGauge(const std::string& model) {
   return obs::MetricsRegistry::Global().gauge(
       "gcon_dp_epsilon",
@@ -91,12 +94,29 @@ InferenceServer::InferenceServer(std::vector<ModelRouter::NamedModel> models,
       }
     });
   }
+  // Budget accounting before any query is admitted. The ledger — not the
+  // incoming artifacts — is the system of record: constructing a server
+  // over an already-charged release restores the cumulative total (the old
+  // code Set() the gauge to artifact_epsilon here, silently erasing every
+  // prior release's charge on restart or reconstruction).
+  options.Validate();  // budget_cap checked before the ledger spends on it
+  budget_cap_ = options.budget_cap;
+  ledger_ = options.budget_ledger.empty()
+                ? std::make_unique<BudgetLedger>()
+                : std::make_unique<BudgetLedger>(options.budget_ledger);
+  model_fp_.reserve(static_cast<std::size_t>(router_.size()));
   std::vector<std::string> queue_labels;
   queue_labels.reserve(static_cast<std::size_t>(router_.size()));
   for (int m = 0; m < router_.size(); ++m) {
     queue_labels.push_back(router_.name(m));
-    EpsilonGauge(router_.name(m))
-        ->Set(router_.SessionRef(m)->artifact_epsilon());
+    const std::shared_ptr<const InferenceSession> session =
+        router_.SessionRef(m);
+    model_fp_.push_back(FingerprintGraph(*session->graph_ptr()));
+    const double total = ledger_->AccountArtifact(
+        model_fp_.back(), router_.name(m), session->artifact_epsilon(),
+        session->artifact_delta(), session->artifact_fingerprint(),
+        budget_cap_);
+    EpsilonGauge(router_.name(m))->Set(total);
   }
   batcher_ = std::make_unique<MicroBatcher>(options, std::move(handlers),
                                             std::move(queue_labels));
@@ -121,13 +141,42 @@ ServeResponse InferenceServer::Query(ServeRequest request) {
   return QueryAsync(std::move(request)).get();
 }
 
+double InferenceServer::PublishAccounted(const std::string& target,
+                                         InferenceSession session) {
+  // Resolve first: a publish against an unknown model must fail before the
+  // ledger is touched (no reserve/abort churn for a request that cannot
+  // possibly release anything). The key uses the SERVING population's
+  // fingerprint — the router guarantees a swap never changes it.
+  const int index = router_.Resolve(target);
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  BudgetLedger::Reservation reservation;
+  try {
+    reservation = ledger_->Reserve(
+        model_fp_[static_cast<std::size_t>(index)], target,
+        session.artifact_epsilon(), session.artifact_delta(),
+        session.artifact_fingerprint(), budget_cap_);
+  } catch (const BudgetExhaustedError& e) {
+    // The coded rejection both transports format; old bits keep serving.
+    throw ServeError(ServeErrorCode::kBudgetExhausted, e.what());
+  }
+  try {
+    router_.Publish(target, std::move(session));
+  } catch (...) {
+    // Failed swap (population mismatch, ...): refund — a publish that
+    // never released anything must not spend budget.
+    ledger_->Abort(reservation);
+    throw;
+  }
+  const double total = ledger_->Commit(reservation);
+  EpsilonGauge(target)->Set(total);
+  return total;
+}
+
 void InferenceServer::Publish(const std::string& name,
                               InferenceSession session) {
   const std::string target =
       name.empty() ? router_.default_model() : name;
-  const double epsilon = session.artifact_epsilon();
-  router_.Publish(target, std::move(session));
-  EpsilonGauge(target)->Add(epsilon);
+  PublishAccounted(target, std::move(session));
 }
 
 std::string InferenceServer::PublishFromFile(const std::string& name,
@@ -137,18 +186,54 @@ std::string InferenceServer::PublishFromFile(const std::string& name,
   const int index = router_.Resolve(target);
   // The replacement is built over the SAME shared serving population the
   // current version uses — a swap changes model weights, never the graph.
+  // Loading and validating happen BEFORE any ledger touch: an unreadable
+  // artifact or hostile header fails here with the budget unspent.
   InferenceSession incoming = InferenceSession::FromFile(
       path, router_.SessionRef(index)->graph_ptr());
   std::ostringstream out;
   out.imbue(std::locale::classic());  // wire bytes are locale-invariant
+  out.precision(17);
   out << "{\"published\": \"" << target
       << "\", \"nodes\": " << incoming.num_nodes()
       << ", \"classes\": " << incoming.num_classes()
       << ", \"features\": " << incoming.feature_dim() << ", \"per_query\": "
-      << (incoming.per_query() ? "true" : "false") << "}";
-  const double epsilon = incoming.artifact_epsilon();
-  router_.Publish(target, std::move(incoming));
-  EpsilonGauge(target)->Add(epsilon);
+      << (incoming.per_query() ? "true" : "false")
+      << ", \"epsilon\": " << incoming.artifact_epsilon();
+  const double total = PublishAccounted(target, std::move(incoming));
+  out << ", \"epsilon_total\": " << total << "}";
+  return out.str();
+}
+
+std::string InferenceServer::BudgetJson() const {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());  // wire bytes are locale-invariant
+  out.precision(17);
+  const auto escape = [](const std::string& s) {
+    std::string escaped;
+    escaped.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return escaped;
+  };
+  out << "{\"budget\": [";
+  for (int m = 0; m < router_.size(); ++m) {
+    const BudgetLedger::BudgetTotals totals = ledger_->Totals(
+        model_fp_[static_cast<std::size_t>(m)], router_.name(m));
+    out << (m == 0 ? "" : ", ") << "{\"model\": \"" << router_.name(m)
+        << "\", \"epsilon\": " << totals.epsilon
+        << ", \"delta\": " << totals.delta
+        << ", \"publishes\": " << totals.publishes
+        << ", \"cap\": " << budget_cap_;
+    if (budget_cap_ > 0) {
+      out << ", \"remaining\": " << std::max(0.0, budget_cap_ - totals.epsilon);
+    }
+    out << "}";
+  }
+  out << "], \"ledger\": \"" << escape(ledger_->path())
+      << "\", \"persistent\": " << (ledger_->persistent() ? "true" : "false")
+      << "}";
   return out.str();
 }
 
@@ -433,11 +518,20 @@ void ServeJsonConnection(InferenceServer* server, int fd) {
         send_line(obs::TraceRecorder::Global().TracesJson() + "\n");
         continue;
       }
+      if (command == WireCommand::kBudget) {
+        flush_pending();
+        send_line(server->BudgetJson() + "\n");
+        continue;
+      }
       if (command == WireCommand::kPublish) {
         flush_pending();
         try {
           send_line(server->PublishFromFile(request.model, request.path) +
                     "\n");
+        } catch (const ServeError& e) {
+          // Coded refusal (budget_exhausted): the client can tell "the
+          // cap is spent" from "bad path" without parsing prose.
+          send_line(FormatWireError(request.id, e.code(), e.what()) + "\n");
         } catch (const std::exception& e) {
           send_line(FormatWireError(request.id, e.what()) + "\n");
         }
@@ -696,9 +790,17 @@ void ServeBinaryConnection(InferenceServer* server, int fd) {
           try {
             send_frame(EncodeAdminReplyFrame(
                 server->PublishFromFile(model, path)));
+          } catch (const ServeError& e) {
+            // Coded refusal — budget_exhausted crosses the binary
+            // transport as its fixed integer, like every other code.
+            send_frame(
+                EncodeErrorFrame(0, WireErrorCode(e.code()), e.what()));
           } catch (const std::exception& e) {
             send_frame(EncodeErrorFrame(0, 0, e.what()));
           }
+          break;
+        case AdminVerb::kBudget:
+          send_frame(EncodeAdminReplyFrame(server->BudgetJson()));
           break;
         case AdminVerb::kDrain:
           server->BeginDrain();

@@ -38,9 +38,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "dp/budget_ledger.h"
 #include "serve/batcher.h"
 #include "serve/inference_session.h"
 #include "serve/latency_stats.h"
@@ -57,6 +59,15 @@ class InferenceServer {
   /// Multi-model server: one named entry per published artifact, shared
   /// batch workers, per-model queues/stats. Throws std::invalid_argument
   /// on an empty set or duplicate/unsafe names (see ModelRouter).
+  ///
+  /// Privacy accounting: every loaded artifact is charged against the
+  /// budget ledger (options.budget_ledger; in-memory when empty) keyed by
+  /// (population fingerprint, model name) — UNLESS the ledger's last
+  /// committed release for that key is this very artifact, in which case
+  /// the prior charge stands (a restart never re-spends, and never resets
+  /// the total to the artifact's own epsilon). The gcon_dp_epsilon gauge
+  /// is set to the ledger's charged total. Throws BudgetExhaustedError
+  /// when a load would push a model past options.budget_cap.
   InferenceServer(std::vector<ModelRouter::NamedModel> models,
                   ServeOptions options);
 
@@ -80,13 +91,22 @@ class InferenceServer {
   /// version they snapshotted; later batches read the new one; no accepted
   /// query is dropped. Throws std::invalid_argument on an unknown name or
   /// a population (node count / feature dim) mismatch.
+  ///
+  /// Budget enforcement: the incoming epsilon is reserved from the ledger
+  /// BEFORE the swap — ServeError(kBudgetExhausted) when options.budget_cap
+  /// would be exceeded, with the old bits still serving — and committed
+  /// only after the swap succeeds, so a publish that throws for any reason
+  /// leaves both the ledger and the gauge untouched.
   void Publish(const std::string& name, InferenceSession session);
 
   /// The {"cmd": "publish"} verb: loads the artifact at `path` over the
   /// target model's own shared serving graph, hot-swaps it in, and returns
-  /// the deterministic response line {"published": ..., metadata...}.
-  /// Throws (std::invalid_argument / std::runtime_error naming the path)
-  /// on an unknown model, unreadable artifact, or population mismatch.
+  /// the deterministic response line {"published": ..., metadata...,
+  /// "epsilon": the release's charge, "epsilon_total": the model's charged
+  /// total after it}. Throws (std::invalid_argument / std::runtime_error
+  /// naming the path) on an unknown model, unreadable artifact, or
+  /// population mismatch, and ServeError(kBudgetExhausted) on a refused
+  /// over-cap publish — budget untouched in every failure case.
   std::string PublishFromFile(const std::string& name,
                               const std::string& path);
 
@@ -125,6 +145,16 @@ class InferenceServer {
   /// The {"cmd": "list_models"} response (ModelRouter::ListModelsJson).
   std::string ListModelsJson() const { return router_.ListModelsJson(); }
 
+  /// The {"cmd": "budget"} response: one entry per model with the charged
+  /// cumulative epsilon/delta, publish count, the configured cap
+  /// ("remaining" present only when a cap is set), plus the ledger path
+  /// and whether it is persistent. Deterministic field order, locked by
+  /// the conformance goldens on both transports.
+  std::string BudgetJson() const;
+
+  /// The process-lifetime budget ledger backing this server's accounting.
+  const BudgetLedger& budget_ledger() const { return *ledger_; }
+
   /// The `metrics` admin verb's body: refreshes the scrape-time metric
   /// mirrors (queue depth/peak, accepted totals) and renders the global
   /// registry's Prometheus text exposition. Both transports answer with
@@ -135,7 +165,23 @@ class InferenceServer {
   void Stop();
 
  private:
+  /// Shared accounting path of Publish/PublishFromFile: reserve (throws
+  /// the coded budget_exhausted rejection when over cap), swap, then
+  /// commit-or-abort. Returns the model's charged epsilon total after the
+  /// commit. `publish_mu_` serializes it so reserve order matches swap
+  /// order and the gauge never regresses under concurrent publishes.
+  double PublishAccounted(const std::string& target,
+                          InferenceSession session);
+
   ModelRouter router_;
+  /// Budget accounting (construction order matters: charged before the
+  /// batcher starts accepting queries). model_fp_[m] is the serving
+  /// population's fingerprint — the ledger key's graph half — fixed at
+  /// construction because a swap never changes the population.
+  std::unique_ptr<BudgetLedger> ledger_;
+  std::vector<std::uint64_t> model_fp_;
+  double budget_cap_ = 0.0;
+  std::mutex publish_mu_;
   std::unique_ptr<MicroBatcher> batcher_;
 };
 

@@ -355,9 +355,13 @@ bool ParseRequestBody(const std::string& line, WireCommand* command,
       *command = WireCommand::kTrace;
       return true;
     }
+    if (cmd == "budget") {
+      *command = WireCommand::kBudget;
+      return true;
+    }
     *error = "unknown cmd '" + cmd +
-             "' (want stats, list_models, publish, drain, metrics, trace, "
-             "or quit)";
+             "' (want stats, list_models, publish, budget, drain, metrics, "
+             "trace, or quit)";
     return false;
   }
   if (!request->path.empty()) {

@@ -30,6 +30,13 @@
 // flushes (answers {"draining": true}; subsequent queries get a coded
 // "draining" rejection).
 //
+// {"cmd": "budget"} reports the privacy-budget accounting behind those
+// publishes: per-model cumulative epsilon/delta charged in the budget
+// ledger, the publish count, the configured --budget-cap (0 = unlimited,
+// with "remaining" present only under a cap), and the ledger path. A
+// publish that would push a model past the cap is refused with a coded
+// "budget_exhausted" error line and the served artifact stays unchanged.
+//
 // Observability verbs: {"cmd": "metrics"} answers the process-wide
 // Prometheus text exposition — a multi-line response, terminated by a
 // "# EOF" line instead of the usual one-line framing (a bare `metrics`
@@ -80,6 +87,7 @@ enum class WireCommand {
   kDrain,       ///< {"cmd": "drain"} — stop admitting, flush queued work
   kMetrics,     ///< {"cmd": "metrics"} — Prometheus text, ends "# EOF"
   kTrace,       ///< {"cmd": "trace"} — last sampled span timelines as JSON
+  kBudget,      ///< {"cmd": "budget"} — per-model DP budget totals/caps
 };
 
 /// Parses one request line. Returns false and fills *error on malformed

@@ -1,0 +1,258 @@
+// BudgetLedger unit suite: reserve/commit/abort arithmetic, cap
+// enforcement (exact equality allowed, overshoot refused with nothing
+// written), persistence across reopen, the restart-no-re-spend rule of
+// AccountArtifact, and the crash-recovery contract — torn trailing records
+// (both hand-truncated and injected via Fault::kTornLedgerWrite) are
+// dropped, newline-terminated garbage refuses to open, and reservations
+// orphaned by a crash STAY charged on replay. The concurrent-reserve test
+// is the TSan witness that check-and-charge happens under one lock.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dp/budget_ledger.h"
+#include "serve/fault_injection.h"
+
+namespace gcon {
+namespace {
+
+constexpr std::uint64_t kGraph = 0xFEEDFACE12345678ull;
+constexpr std::uint64_t kArtifactA = 101;
+constexpr std::uint64_t kArtifactB = 202;
+
+/// Unique-per-test ledger path, removed up front so every test starts
+/// from an absent file.
+std::string LedgerPath(const char* name) {
+  const std::string path =
+      ::testing::TempDir() + "gcon_budget_ledger_test_" + name + ".ledger";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(BudgetLedgerTest, InMemoryReserveCommitAbortArithmetic) {
+  BudgetLedger ledger;
+  EXPECT_FALSE(ledger.persistent());
+
+  const BudgetLedger::Reservation first =
+      ledger.Reserve(kGraph, "m", 1.0, 1e-5, kArtifactA, /*cap=*/0);
+  EXPECT_EQ(ledger.TotalEpsilon(kGraph, "m"), 1.0);  // charged at reserve
+  EXPECT_EQ(ledger.Commit(first), 1.0);
+
+  // An aborted reservation refunds: a failed publish spends nothing.
+  const BudgetLedger::Reservation failed =
+      ledger.Reserve(kGraph, "m", 2.0, 1e-5, kArtifactB, 0);
+  EXPECT_EQ(ledger.TotalEpsilon(kGraph, "m"), 3.0);
+  ledger.Abort(failed);
+  const BudgetLedger::BudgetTotals totals = ledger.Totals(kGraph, "m");
+  EXPECT_EQ(totals.epsilon, 1.0);
+  EXPECT_EQ(totals.delta, 1e-5);
+  EXPECT_EQ(totals.publishes, 1u);
+
+  // Keys are (graph, model) pairs: another model or population is a
+  // separate budget.
+  EXPECT_EQ(ledger.TotalEpsilon(kGraph, "other"), 0.0);
+  EXPECT_EQ(ledger.TotalEpsilon(kGraph + 1, "m"), 0.0);
+}
+
+TEST(BudgetLedgerTest, CapEnforcedAtReserveEqualityAllowed) {
+  BudgetLedger ledger;
+  ledger.Commit(ledger.Reserve(kGraph, "m", 1.0, 1e-5, kArtifactA, 2.0));
+  // Reaching the cap exactly is allowed...
+  ledger.Commit(ledger.Reserve(kGraph, "m", 1.0, 1e-5, kArtifactB, 2.0));
+  EXPECT_EQ(ledger.TotalEpsilon(kGraph, "m"), 2.0);
+  // ...exceeding it is refused, and the refusal charges nothing.
+  EXPECT_THROW(ledger.Reserve(kGraph, "m", 0.5, 1e-5, kArtifactB, 2.0),
+               BudgetExhaustedError);
+  EXPECT_EQ(ledger.TotalEpsilon(kGraph, "m"), 2.0);
+  // cap = 0 means unlimited.
+  ledger.Commit(ledger.Reserve(kGraph, "m", 10.0, 1e-5, kArtifactB, 0));
+  EXPECT_EQ(ledger.TotalEpsilon(kGraph, "m"), 12.0);
+}
+
+TEST(BudgetLedgerTest, ReopenRestoresCommittedTotals) {
+  const std::string path = LedgerPath("reopen");
+  {
+    BudgetLedger ledger(path);
+    EXPECT_TRUE(ledger.persistent());
+    EXPECT_EQ(ledger.path(), path);
+    ledger.Commit(ledger.Reserve(kGraph, "m", 1.0, 1e-5, kArtifactA, 0));
+    ledger.Commit(ledger.Reserve(kGraph, "m", 0.5, 1e-5, kArtifactB, 0));
+    ledger.Abort(ledger.Reserve(kGraph, "m", 9.0, 1e-5, kArtifactB, 0));
+  }
+  BudgetLedger reopened(path);
+  const BudgetLedger::BudgetTotals totals = reopened.Totals(kGraph, "m");
+  EXPECT_EQ(totals.epsilon, 1.5);
+  EXPECT_EQ(totals.publishes, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BudgetLedgerTest, AccountArtifactRestartNeverReSpends) {
+  const std::string path = LedgerPath("restart");
+  {
+    BudgetLedger ledger(path);
+    // First boot: a fresh artifact is a release, charged under the cap.
+    EXPECT_EQ(ledger.AccountArtifact(kGraph, "m", 1.0, 1e-5, kArtifactA, 0),
+              1.0);
+    // A publish of new bits over it spends again.
+    ledger.Commit(ledger.Reserve(kGraph, "m", 1.0, 1e-5, kArtifactB, 0));
+  }
+  {
+    // Restart serving the ledger's own last release: the prior charge
+    // stands — the total is RESTORED, not reset to the artifact's epsilon.
+    BudgetLedger ledger(path);
+    EXPECT_EQ(ledger.AccountArtifact(kGraph, "m", 1.0, 1e-5, kArtifactB, 0),
+              2.0);
+    EXPECT_EQ(ledger.Totals(kGraph, "m").publishes, 2u);
+  }
+  {
+    // Restart with DIFFERENT bits (a release that never went through this
+    // ledger's publish path) is a fresh charge — and the cap applies.
+    BudgetLedger ledger(path);
+    EXPECT_THROW(
+        ledger.AccountArtifact(kGraph, "m", 1.0, 1e-5, kArtifactA, 2.5),
+        BudgetExhaustedError);
+    EXPECT_EQ(ledger.TotalEpsilon(kGraph, "m"), 2.0);  // refusal spent nothing
+    EXPECT_EQ(ledger.AccountArtifact(kGraph, "m", 1.0, 1e-5, kArtifactA, 0),
+              3.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BudgetLedgerTest, TruncatedFinalRecordIsRecovered) {
+  const std::string path = LedgerPath("torn_tail");
+  {
+    BudgetLedger ledger(path);
+    ledger.Commit(ledger.Reserve(kGraph, "m", 1.0, 1e-5, kArtifactA, 0));
+  }
+  // Simulate a crash mid-write: append half a record, no trailing newline.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "R 7 123 0.5";
+  }
+  BudgetLedger recovered(path);
+  EXPECT_EQ(recovered.TotalEpsilon(kGraph, "m"), 1.0);
+  // The torn tail was truncated away on disk too, so the next record
+  // starts on a clean line boundary and a THIRD open replays cleanly.
+  recovered.Commit(recovered.Reserve(kGraph, "m", 0.25, 1e-5, kArtifactB, 0));
+  BudgetLedger third(path);
+  EXPECT_EQ(third.TotalEpsilon(kGraph, "m"), 1.25);
+  std::remove(path.c_str());
+}
+
+TEST(BudgetLedgerTest, NewlineTerminatedGarbageRefusesToOpen) {
+  const std::string path = LedgerPath("corrupt");
+  {
+    BudgetLedger ledger(path);
+    ledger.Commit(ledger.Reserve(kGraph, "m", 1.0, 1e-5, kArtifactA, 0));
+  }
+  // A complete (newline-terminated) unparseable line is corruption, not a
+  // torn write — opening must refuse rather than guess a total.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "X what is this\n";
+  }
+  EXPECT_THROW(BudgetLedger{path}, std::runtime_error);
+  std::remove(path.c_str());
+
+  // So does a file that is not a ledger at all.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "#!/bin/sh\necho hello\n";
+  }
+  EXPECT_THROW(BudgetLedger{path}, std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BudgetLedgerTest, CrashOrphanedReservationStaysCharged) {
+  const std::string path = LedgerPath("orphan");
+  {
+    BudgetLedger ledger(path);
+    ledger.Commit(ledger.Reserve(kGraph, "m", 1.0, 1e-5, kArtifactA, 0));
+    // Reserve without resolving — the object dies (process crash) with the
+    // R record durable and no C/A.
+    ledger.Reserve(kGraph, "m", 2.0, 1e-5, kArtifactB, 0);
+  }
+  // Replay: the swap may have completed before its commit record landed,
+  // so the orphaned charge STAYS (over-count, never forget a release).
+  BudgetLedger recovered(path);
+  const BudgetLedger::BudgetTotals totals = recovered.Totals(kGraph, "m");
+  EXPECT_EQ(totals.epsilon, 3.0);
+  EXPECT_EQ(totals.publishes, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BudgetLedgerTest, InjectedTornWriteRecoversOnReopen) {
+  const std::string path = LedgerPath("fault");
+  FaultInjector::Global().Reset();
+  {
+    BudgetLedger ledger(path);
+    ledger.Commit(ledger.Reserve(kGraph, "m", 1.0, 1e-5, kArtifactA, 0));
+
+    // The chaos hook: half the R record lands on disk, then the write
+    // "fails". Reserve must throw with the in-memory total untouched...
+    FaultInjector::Global().Arm(Fault::kTornLedgerWrite, 1);
+    EXPECT_THROW(ledger.Reserve(kGraph, "m", 2.0, 1e-5, kArtifactB, 0),
+                 std::runtime_error);
+    EXPECT_EQ(ledger.TotalEpsilon(kGraph, "m"), 1.0);
+
+    // ...and the object is poisoned — a crashed writer does not keep
+    // appending to a file whose tail it can no longer trust.
+    EXPECT_THROW(ledger.Reserve(kGraph, "m", 0.5, 1e-5, kArtifactB, 0),
+                 std::runtime_error);
+  }
+  // The file really does end in a torn half-record.
+  const std::string bytes = ReadAll(path);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_NE(bytes.back(), '\n');
+
+  // Reopen (the restart after the crash): the tail is truncated away and
+  // the pre-crash totals replay exactly; the ledger is writable again.
+  BudgetLedger recovered(path);
+  EXPECT_EQ(recovered.TotalEpsilon(kGraph, "m"), 1.0);
+  recovered.Commit(recovered.Reserve(kGraph, "m", 0.5, 1e-5, kArtifactB, 0));
+  EXPECT_EQ(recovered.TotalEpsilon(kGraph, "m"), 1.5);
+  FaultInjector::Global().Reset();
+  std::remove(path.c_str());
+}
+
+TEST(BudgetLedgerTest, ConcurrentReservesCannotJointlyOvershootTheCap) {
+  // Ten threads race 1.0-epsilon reserves against a cap of 5.0: exactly
+  // five must win (reaching the cap exactly), five must be refused, and
+  // under TSan this doubles as the data-race witness for the
+  // check-and-charge critical section.
+  BudgetLedger ledger;
+  constexpr int kThreads = 10;
+  std::vector<std::thread> threads;
+  std::vector<int> won(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ledger, &won, t] {
+      try {
+        ledger.Commit(ledger.Reserve(kGraph, "m", 1.0, 1e-5,
+                                     static_cast<std::uint64_t>(t),
+                                     /*cap=*/5.0));
+        won[static_cast<std::size_t>(t)] = 1;
+      } catch (const BudgetExhaustedError&) {
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  int winners = 0;
+  for (const int w : won) winners += w;
+  EXPECT_EQ(winners, 5);
+  const BudgetLedger::BudgetTotals totals = ledger.Totals(kGraph, "m");
+  EXPECT_EQ(totals.epsilon, 5.0);
+  EXPECT_EQ(totals.publishes, 5u);
+}
+
+}  // namespace
+}  // namespace gcon

@@ -334,8 +334,8 @@ TEST_F(ServeConformanceTest, ErrorGoldensIncludingRecoveredIds) {
                    "or 'features', not both\"}"});
   cases.push_back({"unknown cmd", "{\"id\": 3, \"cmd\": \"reboot\"}",
                    "{\"id\": 3, \"error\": \"unknown cmd 'reboot' (want "
-                   "stats, list_models, publish, drain, metrics, trace, "
-                   "or quit)\"}"});
+                   "stats, list_models, publish, budget, drain, metrics, "
+                   "trace, or quit)\"}"});
   cases.push_back({"non-positive deadline",
                    "{\"id\": 13, \"node\": 1, \"deadline_us\": 0}",
                    "{\"id\": 13, \"error\": \"key 'deadline_us' wants a "
@@ -417,6 +417,9 @@ TEST(WireFormatLock, CodedErrorLineIsByteStable) {
       "{\"id\": 8, \"code\": \"deadline_exceeded\", \"error\": \"late\"}");
   EXPECT_EQ(FormatWireError(9, ServeErrorCode::kDraining, "bye"),
             "{\"id\": 9, \"code\": \"draining\", \"error\": \"bye\"}");
+  EXPECT_EQ(
+      FormatWireError(10, ServeErrorCode::kBudgetExhausted, "cap"),
+      "{\"id\": 10, \"code\": \"budget_exhausted\", \"error\": \"cap\"}");
 }
 
 TEST_F(ServeConformanceTest, OverloadedRejectionGoldenAndCleanRetry) {
@@ -482,10 +485,14 @@ TEST_F(ServeConformanceTest, PublishGoldensAndSwappedModelServesNewBits) {
 
   WireClient client(port());
   std::ostringstream published;
+  // Construction charged alt's artifact epsilon (1.0) against the ledger;
+  // this publish charges another 1.0, so the release's own epsilon is 1 and
+  // the model's cumulative total after it is 2.
   published << "{\"published\": \"alt\", \"nodes\": " << graph_.num_nodes()
             << ", \"classes\": " << graph_.num_classes()
             << ", \"features\": " << graph_.feature_dim()
-            << ", \"per_query\": true}";
+            << ", \"per_query\": true, \"epsilon\": 1, "
+            << "\"epsilon_total\": 2}";
   std::vector<GoldenCase> cases;
   cases.push_back({"alt before swap",
                    "{\"id\": 70, \"model\": \"alt\", \"node\": 12}",
@@ -569,6 +576,98 @@ TEST_F(ServeConformanceTest, HotSwapDuringLiveStreamDropsNothing) {
   streamer.SendLine("{\"id\": 999, \"model\": \"alt\", \"node\": 0}");
   EXPECT_EQ(streamer.ReadLine(),
             GoldenResponse(999, 0, offline_next, 0));
+  std::remove(path.c_str());
+}
+
+// --- Budget verb + enforcement goldens -------------------------------------
+
+TEST_F(ServeConformanceTest, BudgetVerbGoldenTracksCumulativeSpend) {
+  // Construction charged each model's artifact epsilon (1.0, delta 1e-5)
+  // against the server's in-memory ledger. The golden locks the response's
+  // field order and number-formatting policy; publish counts and doubles
+  // are streamed through the same classic-locale precision-17 formatter
+  // the server uses, so a formatting-policy drift fails the byte compare.
+  const auto budget_golden = [](double default_eps, int default_pubs,
+                                double alt_eps, int alt_pubs) {
+    std::ostringstream out;
+    out.imbue(std::locale::classic());
+    out.precision(17);
+    out << "{\"budget\": [{\"model\": \"default\", \"epsilon\": "
+        << default_eps << ", \"delta\": " << default_pubs * 1e-5
+        << ", \"publishes\": " << default_pubs
+        << ", \"cap\": 0}, {\"model\": \"alt\", \"epsilon\": " << alt_eps
+        << ", \"delta\": " << alt_pubs * 1e-5
+        << ", \"publishes\": " << alt_pubs
+        << ", \"cap\": 0}], \"ledger\": \"\", \"persistent\": false}";
+    return out.str();
+  };
+
+  WireClient client(port());
+  ReplayGoldens(&client, {{"budget after construction",
+                           "{\"cmd\": \"budget\"}",
+                           budget_golden(1.0, 1, 1.0, 1)}});
+
+  // A publish over alt adds its release to alt's cumulative spend; the
+  // default model's row is untouched.
+  const GconArtifact next = SyntheticArtifact(graph_, {2}, 8, 305);
+  const std::string path = "/tmp/gcon_conformance_budget.model";
+  SaveModel(next, path);
+  client.SendLine("{\"id\": 90, \"cmd\": \"publish\", \"model\": \"alt\", "
+                  "\"path\": \"" + path + "\"}");
+  ASSERT_EQ(client.ReadLine().rfind("{\"published\": \"alt\", ", 0), 0u);
+  ReplayGoldens(&client, {{"budget after publish", "{\"cmd\": \"budget\"}",
+                           budget_golden(1.0, 1, 2.0, 2)}});
+  std::remove(path.c_str());
+}
+
+TEST(ServeBudgetEnforcementConformance, OverCapPublishRefusedOldBitsServe) {
+  // A capped server: construction spends 1.0 of the 1.5 cap, so the next
+  // 1.0-epsilon publish must be refused with the structured coded line —
+  // and the refusal must leave the old artifact serving bitwise with the
+  // budget unspent.
+  const Graph graph = serve_test::TestGraph(9);
+  const GconArtifact artifact = SyntheticArtifact(graph, {0, 2}, 8, 3);
+  const Matrix offline = artifact.Infer(graph);
+  std::vector<ModelRouter::NamedModel> models;
+  models.push_back({"default", InferenceSession(artifact, graph)});
+  ServeOptions options;
+  options.threads = 1;
+  options.max_batch = 4;
+  options.budget_cap = 1.5;
+  InferenceServer server(std::move(models), options);
+  std::atomic<bool> shutdown{false};
+  std::atomic<int> port{0};
+  std::thread listener(
+      [&] { RunTcpServer(&server, /*port=*/0, &shutdown, &port); });
+  while (port.load(std::memory_order_acquire) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const GconArtifact next = SyntheticArtifact(graph, {2}, 8, 404);
+  const std::string path = "/tmp/gcon_conformance_overcap.model";
+  SaveModel(next, path);
+
+  WireClient client(port.load(std::memory_order_acquire));
+  std::vector<GoldenCase> cases;
+  cases.push_back({"over-cap publish refused with the coded line",
+                   "{\"id\": 80, \"cmd\": \"publish\", \"model\": "
+                   "\"default\", \"path\": \"" + path + "\"}",
+                   "{\"id\": 80, \"code\": \"budget_exhausted\", \"error\": "
+                   "\"release of model 'default' refused: cumulative epsilon "
+                   "1 + 1 exceeds budget cap 1.5\"}"});
+  cases.push_back({"old bits still serve after the refusal",
+                   "{\"id\": 81, \"node\": 12}",
+                   GoldenResponse(81, 12, offline, 12)});
+  cases.push_back({"refused publish spent nothing",
+                   "{\"cmd\": \"budget\"}",
+                   "{\"budget\": [{\"model\": \"default\", \"epsilon\": 1, "
+                   "\"delta\": 1.0000000000000001e-05, \"publishes\": 1, "
+                   "\"cap\": 1.5, \"remaining\": 0.5}], \"ledger\": \"\", "
+                   "\"persistent\": false}"});
+  ReplayGoldens(&client, cases);
+
+  shutdown.store(true, std::memory_order_release);
+  listener.join();
   std::remove(path.c_str());
 }
 

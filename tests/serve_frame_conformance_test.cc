@@ -278,8 +278,11 @@ TEST(FrameFormatLock, ErrorCodeEncodingsAreWireStable) {
   EXPECT_EQ(WireErrorCode(ServeErrorCode::kDeadlineExceeded), 2u);
   EXPECT_EQ(WireErrorCode(ServeErrorCode::kDraining), 3u);
   EXPECT_EQ(WireErrorCode(ServeErrorCode::kMalformedFrame), 4u);
+  EXPECT_EQ(WireErrorCode(ServeErrorCode::kBudgetExhausted), 5u);
   EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kMalformedFrame),
                "malformed_frame");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kBudgetExhausted),
+               "budget_exhausted");
 }
 
 TEST(FrameFormatLock, ResponseFrameIsByteStable) {
@@ -722,11 +725,15 @@ TEST_F(ServeFrameConformanceTest, PublishHotSwapsOverBinaryTransport) {
   EXPECT_EQ(client.ReadFrameBytes(),
             GoldenResponseFrame(90, 12, offline_alt_, 12));
 
+  // Construction charged alt's artifact epsilon (1.0); this publish
+  // charges another 1.0 — the reply carries both the release's own epsilon
+  // and the model's cumulative total, same bytes as the JSON transport.
   std::ostringstream published;
   published << "{\"published\": \"alt\", \"nodes\": " << graph_.num_nodes()
             << ", \"classes\": " << graph_.num_classes()
             << ", \"features\": " << graph_.feature_dim()
-            << ", \"per_query\": true}";
+            << ", \"per_query\": true, \"epsilon\": 1, "
+            << "\"epsilon_total\": 2}";
   client.Send(EncodeAdminFrame(AdminVerb::kPublish, "alt", path));
   EXPECT_EQ(client.ReadFrameBytes(), EncodeAdminReplyFrame(published.str()));
 
@@ -735,6 +742,62 @@ TEST_F(ServeFrameConformanceTest, PublishHotSwapsOverBinaryTransport) {
   client.Send(EncodeRequestFrame(after));
   EXPECT_EQ(client.ReadFrameBytes(),
             GoldenResponseFrame(91, 12, offline_next, 12));
+
+  // The budget admin verb answers the same JSON document on this transport:
+  // alt's row shows the accumulated spend, default's is untouched.
+  client.Send(EncodeAdminFrame(AdminVerb::kBudget));
+  EXPECT_EQ(client.ReadFrameBytes(),
+            EncodeAdminReplyFrame(
+                "{\"budget\": [{\"model\": \"default\", \"epsilon\": 1, "
+                "\"delta\": 1.0000000000000001e-05, \"publishes\": 1, "
+                "\"cap\": 0}, {\"model\": \"alt\", \"epsilon\": 2, "
+                "\"delta\": 2.0000000000000002e-05, \"publishes\": 2, "
+                "\"cap\": 0}], \"ledger\": \"\", \"persistent\": false}"));
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeFrameConformanceTest, OverCapPublishRefusedCodedOverBinary) {
+  // A second publish of the same 1.0-epsilon artifact onto a server whose
+  // cap is spent must cross the binary transport as the structured code 5
+  // frame — and leave the old bits serving. The fixture's server has no
+  // cap, so this test runs its own capped one.
+  std::vector<ModelRouter::NamedModel> models;
+  models.push_back({"only", InferenceSession(*default_artifact_, graph_)});
+  ServeOptions options;
+  options.threads = 1;
+  options.max_batch = 4;
+  options.budget_cap = 1.5;  // construction spends 1.0 of it
+  InferenceServer server(std::move(models), options);
+  std::atomic<bool> stop{false};
+  std::atomic<int> capped_port{0};
+  std::thread listener(
+      [&] { RunTcpServer(&server, /*port=*/0, &stop, &capped_port); });
+  while (capped_port.load(std::memory_order_acquire) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const GconArtifact next = SyntheticArtifact(graph_, {2}, 8, 404);
+  const std::string path = "/tmp/gcon_frame_conformance_overcap.model";
+  SaveModel(next, path);
+
+  FrameClient client(capped_port.load(std::memory_order_acquire));
+  ASSERT_EQ(client.Hello(), EncodeHello(kFrameVersion));
+  client.Send(EncodeAdminFrame(AdminVerb::kPublish, "only", path));
+  EXPECT_EQ(client.ReadFrameBytes(),
+            EncodeErrorFrame(
+                0, WireErrorCode(ServeErrorCode::kBudgetExhausted),
+                "release of model 'only' refused: cumulative epsilon 1 + 1 "
+                "exceeds budget cap 1.5"));
+  // The refusal spent nothing and the old artifact still serves bitwise.
+  ServeRequest request;
+  request.id = 95;
+  request.node = 12;
+  client.Send(EncodeRequestFrame(request));
+  EXPECT_EQ(client.ReadFrameBytes(),
+            GoldenResponseFrame(95, 12, offline_default_, 12));
+
+  stop.store(true, std::memory_order_release);
+  listener.join();
   std::remove(path.c_str());
 }
 

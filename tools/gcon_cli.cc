@@ -22,9 +22,20 @@
 //            Loads an artifact, runs Eq. (16) private inference on the
 //            graph, and prints per-node argmax predictions (with micro-F1
 //            against the stored labels when --labels is given).
+//   retrain  --graph=in.graph --model=out.model [train flags]
+//            [--port=7070] [--publish-as=default]
+//            The train→publish→serve loop: trains exactly like `train`,
+//            writes the artifact, then publishes it over the live wire to
+//            the `serve` process on --port ({"cmd": "publish"}) so the
+//            server hot-swaps it in with zero dropped queries. A server
+//            running with --budget-cap may refuse the release
+//            (budget_exhausted): the old bits keep serving and retrain
+//            exits 3 so operators can distinguish "cap spent" from a
+//            usage error.
 //   serve    --graph=in.graph --model=in.model [--model name=path]...
 //            [--port=7070] [--threads=1] [--max_batch=32] [--max_wait_us=200]
 //            [--max_queue=4096] [--io_timeout_ms=30000]
+//            [--budget-ledger=path] [--budget-cap=0]
 //            Loads each artifact once and serves node-prediction queries
 //            over TCP (127.0.0.1) through the shared micro-batching
 //            engine. Two wire codecs share the port, sniffed from each
@@ -47,15 +58,30 @@
 //            query is answered, the workers exit. The "publish" wire verb
 //            hot-swaps a served artifact in place without a restart.
 //            --port=0 picks an ephemeral port (printed).
+//            --budget-ledger names a persistent privacy-budget ledger
+//            (dp/budget_ledger.h): cumulative per-model epsilon survives
+//            restarts and crashes, and --budget-cap makes any publish (or
+//            startup load) that would push a model's total past the cap
+//            fail with a structured "budget_exhausted" rejection while
+//            the old artifact keeps serving. The "budget" wire verb
+//            reports the charged totals.
 //   stats    --graph=in.graph
 //            Prints dataset statistics (the Table II columns).
 //   generate --dataset=cora_ml --scale=0.25 --out=out.graph [--seed=1]
 //            Writes a synthetic dataset to a graph file.
 //
-// Exit codes: 0 success, 2 usage error.
+// Exit codes: 0 success, 2 usage error, 3 publish refused over budget
+// (retrain only; the trained artifact is on disk, the server unchanged).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdint>
+#include <cstring>
 #include <exception>
 #include <iostream>
 #include <stdexcept>
@@ -114,6 +140,13 @@ const std::map<std::string, std::string> kSpec = {
                      "tracing (serve, default 64)"},
     {"slow-query-us", "log any traced query slower than this many us, spans "
                       "inline; 0 disables (serve, default 0)"},
+    {"budget-ledger", "path of the persistent privacy-budget ledger; "
+                      "cumulative per-model epsilon survives restarts "
+                      "(serve; default in-memory)"},
+    {"budget-cap", "refuse any publish pushing a model's cumulative epsilon "
+                   "past this; 0 = unlimited (serve, default 0)"},
+    {"publish-as", "served model name the retrained artifact publishes "
+                   "over (retrain, default \"default\")"},
 };
 
 std::string MethodListing() {
@@ -326,6 +359,12 @@ int CmdServe(const gcon::Flags& flags) {
     std::cerr << "serve: --max_queue must be >= 0 (0 = unbounded)\n";
     return 2;
   }
+  options.budget_ledger = flags.GetString("budget-ledger", "");
+  options.budget_cap = flags.GetDouble("budget-cap", 0.0);
+  if (options.budget_cap < 0) {
+    std::cerr << "serve: --budget-cap must be >= 0 (0 = unlimited)\n";
+    return 2;
+  }
   const int port = flags.GetInt("port", 7070);
   if (port < 0 || port > 65535) {
     std::cerr << "serve: --port must be in [0, 65535]\n";
@@ -369,6 +408,107 @@ int CmdServe(const gcon::Flags& flags) {
     std::cerr << "serve: " << e.what() << "\n";
     return 2;
   }
+}
+
+/// Minimal newline-JSON wire round-trip: connects to the serve process on
+/// 127.0.0.1:`port`, sends one line, and reads one response line. Returns
+/// false (with *error set) when the server is unreachable or hangs up
+/// before answering.
+bool WireRoundTrip(int port, const std::string& line, std::string* response,
+                   std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "cannot reach 127.0.0.1:" + std::to_string(port) + " (" +
+             std::strerror(errno) + "); is `gcon_cli serve` running?";
+    ::close(fd);
+    return false;
+  }
+  const std::string data = line + "\n";
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      *error = std::string("send: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  response->clear();
+  char chunk[4096];
+  for (;;) {
+    const std::size_t eol = response->find('\n');
+    if (eol != std::string::npos) {
+      response->resize(eol);
+      ::close(fd);
+      return true;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      *error = "server closed the connection before answering";
+      ::close(fd);
+      return false;
+    }
+    response->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// JSON string escaping for the publish request (paths may hold anything).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+int CmdRetrain(const gcon::Flags& flags) {
+  // The train→publish→serve retrain loop: exactly CmdTrain's training and
+  // artifact write, then a {"cmd": "publish"} over the live wire so the
+  // serving process hot-swaps the new release in without dropping queries.
+  const std::string model_path = flags.GetString("model", "");
+  const int port = flags.GetInt("port", 7070);
+  if (port <= 0 || port > 65535) {
+    std::cerr << "retrain: --port must be in [1, 65535] (the live serve "
+                 "process)\n";
+    return 2;
+  }
+  const std::string target = flags.GetString("publish-as", "default");
+  const int trained = CmdTrain(flags);  // prints its own diagnostics
+  if (trained != 0) return trained;
+
+  const std::string request = "{\"cmd\": \"publish\", \"model\": \"" +
+                              JsonEscape(target) + "\", \"path\": \"" +
+                              JsonEscape(model_path) + "\"}";
+  std::string response;
+  std::string error;
+  if (!WireRoundTrip(port, request, &response, &error)) {
+    std::cerr << "retrain: " << error << "\n";
+    return 2;
+  }
+  std::cout << response << "\n";
+  if (response.rfind("{\"published\": ", 0) == 0) return 0;
+  if (response.find("\"code\": \"budget_exhausted\"") != std::string::npos) {
+    // The server's ledger refused the release: the cap is spent, the old
+    // bits keep serving. Distinct exit code so operators and scripts can
+    // tell "budget exhausted" from a usage error.
+    std::cerr << "retrain: publish refused over budget; the server still "
+                 "serves the previous artifact\n";
+    return 3;
+  }
+  std::cerr << "retrain: publish failed\n";
+  return 2;
 }
 
 int CmdStats(const gcon::Flags& flags) {
@@ -416,7 +556,8 @@ const std::set<std::string> kSwitches = {"share-data", "expand", "labels"};
 int main(int argc, char** argv) {
   const gcon::Flags flags(argc, argv, kSpec, kSwitches);
   if (flags.positional().empty()) {
-    std::cerr << "usage: gcon_cli <train|eval|predict|serve|stats|generate> "
+    std::cerr << "usage: gcon_cli "
+                 "<train|eval|predict|retrain|serve|stats|generate> "
                  "[flags]\n"
               << flags.Usage() << MethodListing();
     return 2;
@@ -425,6 +566,7 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags);
   if (command == "eval") return CmdEval(flags);
   if (command == "predict") return CmdPredict(flags);
+  if (command == "retrain") return CmdRetrain(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "generate") return CmdGenerate(flags);

@@ -15,10 +15,16 @@ and unseen-node paths. Their answers are checked for shape, not content
 
 Finally it scrapes the Prometheus `metrics` surface (the bare-line
 spelling, the same one `echo metrics | nc` uses) and asserts the summed
-gcon_serve_accepted_total counters equal the queries this client sent —
-end-to-end proof the admission counters count.
+gcon_serve_accepted_total counters grew by the queries this client sent —
+end-to-end proof the admission counters count — then asks the `budget`
+verb for the privacy-budget ledger totals and asserts they agree with the
+gcon_dp_epsilon gauges in the scrape. When the caller passes the epsilon
+it expects the ledger to have charged (the sum of every published
+artifact's epsilon, across restarts), that too is asserted — the CI check
+that the ledger is cumulative and crash-durable, not reset per process.
 
 Usage: serve_smoke_client.py <port> <nodes> [connect_timeout_s]
+                             [expected_epsilon_total]
 Exits non-zero on connection failure, an error response, or a short read.
 """
 import json
@@ -71,9 +77,17 @@ def main() -> int:
     port = int(sys.argv[1])
     nodes = int(sys.argv[2])
     timeout_s = float(sys.argv[3]) if len(sys.argv) > 3 else 10.0
+    expected_epsilon = float(sys.argv[4]) if len(sys.argv) > 4 else None
 
     sock = connect(port, timeout_s)
     stream = sock.makefile("rw")
+    # Baseline the admission counters first: against a long-lived server
+    # (the CI retrain loop runs this client several times per process) the
+    # end-of-run assertion checks the DELTA this client caused, not the
+    # process-lifetime total.
+    baseline = sum(
+        float(line.rsplit(" ", 1)[1]) for line in scrape_metrics(stream)
+        if line.startswith("gcon_serve_accepted_total"))
     for v in range(nodes):
         stream.write(json.dumps({"id": v, "node": v}) + "\n")
     stream.flush()
@@ -119,10 +133,30 @@ def main() -> int:
         routed = sum(1 for model in catalog["models"]
                      if model["name"] != catalog["default"])
         sent = nodes + routed + 1  # sweep + routed probes + inductive
-        assert accepted == sent, (accepted, sent)
-        print(f"metrics scrape: {len(metrics)} lines; "
-              f"accepted counters sum to {accepted:.0f} == {sent} sent",
+        assert accepted - baseline == sent, (accepted, baseline, sent)
+        print(f"metrics scrape: {len(metrics)} lines; accepted counters "
+              f"grew by {accepted - baseline:.0f} == {sent} sent",
               file=sys.stderr)
+
+        # The budget verb: the ledger's charged totals per served model.
+        budget = ask(stream, {"cmd": "budget"})
+        print(f"budget: {json.dumps(budget)}", file=sys.stderr)
+        names = {model["name"] for model in catalog["models"]}
+        assert {row["model"] for row in budget["budget"]} == names, budget
+        ledger_total = sum(row["epsilon"] for row in budget["budget"])
+        # The gcon_dp_epsilon gauges MIRROR the ledger — same totals on
+        # the metrics surface, never the artifact's own receipt.
+        gauge_total = sum(
+            float(line.rsplit(" ", 1)[1]) for line in metrics
+            if line.startswith("gcon_dp_epsilon"))
+        assert abs(gauge_total - ledger_total) < 1e-9, \
+            (gauge_total, ledger_total)
+        if expected_epsilon is not None:
+            assert abs(ledger_total - expected_epsilon) < 1e-9, \
+                (ledger_total, expected_epsilon)
+            print(f"ledger total {ledger_total:g} == sum of published "
+                  f"epsilons ({expected_epsilon:g}); gauges agree",
+                  file=sys.stderr)
     except (RuntimeError, AssertionError) as failure:
         print(failure, file=sys.stderr)
         return 1
